@@ -1,0 +1,36 @@
+"""Shared benchmark utilities.
+
+Each benchmark regenerates one paper exhibit (table or figure), prints
+the same rows/series the paper reports, and writes them to
+``results/<exhibit>.txt``.  Simulations are deterministic, so every
+benchmark runs pedantically with one round.
+
+Set ``REPRO_SCALE=full`` for paper-sized parameters (slower); the default
+``quick`` scale preserves every trend at a fraction of the wall time.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def scale() -> str:
+    """'quick' (default) or 'full'."""
+    return os.environ.get("REPRO_SCALE", "quick")
+
+
+def emit(name: str, rows, title: str) -> None:
+    """Print and persist one exhibit's rows."""
+    from repro.analysis.figures import format_rows
+
+    text = f"== {title} ==\n{format_rows(rows)}\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic simulation once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,24 @@
+"""Figure 2: copy overhead across four use cases.
+
+Paper: Protobuf / MongoDB inserts / Cicada writes show substantial copy
+overhead (up to ~68% of cycles); huge-page COW faults are dominated by
+the copy (up to 99%).
+"""
+
+from conftest import emit, run_once
+
+
+def test_fig02_copy_overhead(benchmark):
+    from repro.analysis.figures import figure2
+
+    rows = run_once(benchmark, figure2)
+    emit("figure2", rows, "Figure 2: Copy overhead per use case (%)")
+    by = {r["workload"]: r["copy_overhead_pct"] for r in rows}
+    assert by["Protobuf"] > 25
+    # The paper's Fig. 2 Mongo bar (~35%) comes from perf on real
+    # hardware; its own gem5 insert latencies (Fig. 15: ~15 ms with ~2 ms
+    # of copies) imply a much smaller simulated copy share, which is what
+    # this workload reproduces.
+    assert by["MongoDB inserts"] > 4
+    assert by["Cicada writes"] > 15
+    assert by["Fork + COW fault"] > 90  # paper: up to 99% for huge pages

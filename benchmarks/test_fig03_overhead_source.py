@@ -1,0 +1,18 @@
+"""Figure 3: source of Protobuf memcpy overhead.
+
+Paper: >25% of accesses miss the cache; >90% of cycles have at least one
+outstanding memory access; >60% of memcpy cycles are full stalls.
+"""
+
+from conftest import emit, run_once
+
+
+def test_fig03_overhead_source(benchmark):
+    from repro.analysis.figures import figure3
+
+    rows = run_once(benchmark, figure3)
+    emit("figure3", rows, "Figure 3: Source of Protobuf memcpy overhead")
+    by = {r["metric"]: r["pct"] for r in rows}
+    assert by["Cache miss"] > 10
+    assert by["Mem miss cycles"] > 50
+    assert by["Mem miss cycles"] >= by["Mem miss stall cycles"]

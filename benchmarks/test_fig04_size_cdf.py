@@ -1,0 +1,18 @@
+"""Figure 4: distribution of Protobuf memcpy sizes (CDF).
+
+Paper: the majority (~56%) of copies are exactly 1KB; an effective
+technique must handle sub-page copies.
+"""
+
+from conftest import emit, run_once
+
+
+def test_fig04_size_cdf(benchmark):
+    from repro.analysis.figures import figure4
+
+    rows = run_once(benchmark, figure4)
+    emit("figure4", rows, "Figure 4: Protobuf memcpy size CDF")
+    by = {r["size"]: r["cumulative_pct"] for r in rows}
+    assert 90 < by["1KB"] <= 97       # jump at 1KB dominates
+    assert by["4KB"] == 100.0         # everything is sub-page
+    assert by["512B"] < 45

@@ -1,0 +1,32 @@
+"""Figure 10: copy latency for memcpy, zIO, touched memcpy, and (MC)².
+
+Paper shape: (MC)² is 55% to 11x faster than memcpy for copies >= 1KB;
+zIO loses below 64KB (unmap/shootdown overhead) and wins above (23x at
+4MB); touched memcpy wins for small cached copies and converges with the
+uncached baseline once the buffer exceeds the caches.
+"""
+
+from conftest import emit, run_once, scale
+
+from repro.common.units import KB, MB
+
+
+def test_fig10_copy_latency(benchmark):
+    from repro.analysis.figures import figure10
+
+    sizes = [64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB]
+    if scale() == "full":
+        sizes.append(4 * MB)
+    rows = run_once(benchmark, figure10, sizes)
+    emit("figure10", rows, "Figure 10: Copy latency (ns)")
+
+    lat = {(r["variant"], r["size"]): r["latency_ns"] for r in rows}
+    # (MC)^2 wins from 1KB up, by a growing factor.
+    for size in ("1KB", "16KB", "256KB", "1MB"):
+        assert lat[("mcsquare", size)] < lat[("memcpy", size)]
+    assert lat[("memcpy", "1MB")] / lat[("mcsquare", "1MB")] > 5
+    # zIO: slower than memcpy at 16KB, faster at 256KB+.
+    assert lat[("zio", "16KB")] > lat[("memcpy", "16KB")]
+    assert lat[("zio", "256KB")] < lat[("memcpy", "256KB")]
+    # Touched memcpy beats (MC)^2 for small copies.
+    assert lat[("touched_memcpy", "256B")] < lat[("mcsquare", "256B")]

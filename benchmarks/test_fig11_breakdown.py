@@ -1,0 +1,25 @@
+"""Figure 11: overhead breakdown of memcpy_lazy.
+
+Paper: below ~1KB the MCLAZY packet dominates (CLWBs proceed in
+parallel); above, CLWB writebacks serialize and dominate.
+"""
+
+from conftest import emit, run_once, scale
+
+from repro.common.units import KB, MB
+
+
+def test_fig11_breakdown(benchmark):
+    from repro.analysis.figures import figure11
+
+    sizes = [64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB]
+    if scale() == "full":
+        sizes.append(4 * MB)
+    rows = run_once(benchmark, figure11, sizes)
+    emit("figure11", rows,
+         "Figure 11: memcpy_lazy overhead breakdown (%)")
+
+    by = {r["size"]: r for r in rows}
+    assert by["256B"]["packet_pct"] > by["256B"]["writeback_pct"]
+    assert by["64KB"]["writeback_pct"] > by["64KB"]["packet_pct"]
+    assert by["1MB"]["writeback_pct"] > 75

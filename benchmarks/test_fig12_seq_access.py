@@ -1,0 +1,32 @@
+"""Figure 12: sequential destination-buffer access after a copy.
+
+Paper: (MC)² beats memcpy at every access fraction (worst case 0.80x)
+thanks to the prefetcher hiding bounce latency; without prefetching it
+degrades to 1.21x; aligned buffers do better still; zIO wins only when
+little is accessed and loses past ~50%.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def test_fig12_seq_access(benchmark):
+    from repro.analysis.figures import figure12
+
+    if scale() == "full":
+        # Paper-sized: 4MB buffer on the Table I machine (2MB LLC).
+        from repro import SystemConfig
+        from repro.common.units import MB
+        rows = run_once(benchmark, figure12, 4 * MB, SystemConfig())
+    else:
+        rows = run_once(benchmark, figure12)
+    emit("figure12", rows,
+         "Figure 12: Sequential dest access, runtime normalized to memcpy")
+
+    norm = {(r["variant"], r["fraction"]): r["normalized_runtime"]
+            for r in rows}
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        assert norm[("mcsquare", frac)] < 1.1
+    assert norm[("mcsquare_noprefetch", 1.0)] > norm[("mcsquare", 1.0)]
+    assert norm[("mcsquare_aligned", 1.0)] <= norm[("mcsquare", 1.0)]
+    assert norm[("zio", 0.0)] < 1.0
+    assert norm[("zio", 1.0)] > 1.0

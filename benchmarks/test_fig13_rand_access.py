@@ -1,0 +1,32 @@
+"""Figure 13: random (pointer-chase) destination access after a copy.
+
+Paper: zIO suffers fault storms at low fractions (2.1x); without the
+bounce-writeback optimization (MC)² degrades toward 1.6x because every
+access re-bounces; aligned buffers bounce once and stay near memcpy.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def test_fig13_rand_access(benchmark):
+    from repro.analysis.figures import figure13
+
+    if scale() == "full":
+        # Paper-sized: 4MB buffer on the Table I machine (2MB LLC).
+        from repro import SystemConfig
+        from repro.common.units import MB
+        rows = run_once(benchmark, figure13, 4 * MB, SystemConfig())
+    else:
+        rows = run_once(benchmark, figure13)
+    emit("figure13", rows,
+         "Figure 13: Random dest access, runtime normalized to memcpy")
+
+    norm = {(r["variant"], r["fraction"]): r["normalized_runtime"]
+            for r in rows}
+    # Writeback optimization pays off once lines are revisited.
+    assert norm[("mcsquare", 1.0)] < norm[("mcsquare_nowriteback", 1.0)]
+    # Aligned buffers bounce once: better than misaligned at every point.
+    for frac in (0.125, 0.25, 0.5, 1.0):
+        assert norm[("mcsquare_aligned", frac)] <= norm[("mcsquare", frac)]
+    # zIO's fault overhead is worst when few pages are touched.
+    assert norm[("zio", 0.125)] > norm[("zio", 1.0)]

@@ -1,0 +1,19 @@
+"""Figure 14: Protobuf (Fleetbench) runtime.
+
+Paper: (MC)² gives a 43% speedup; zIO cannot elide anything because all
+copies are sub-page, so it matches the baseline.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def test_fig14_protobuf(benchmark):
+    from repro.analysis.figures import figure14
+
+    num_ops = 120 if scale() == "full" else 40
+    rows = run_once(benchmark, figure14, num_ops)
+    emit("figure14", rows, "Figure 14: Protobuf runtime")
+
+    by = {r["variant"]: r for r in rows}
+    assert by["mcsquare"]["speedup_vs_baseline"] > 1.03
+    assert abs(by["zio"]["speedup_vs_baseline"] - 1.0) < 0.15

@@ -1,0 +1,23 @@
+"""Figure 15: MongoDB average insert latency (YCSB load phase).
+
+Paper: (MC)² speeds up inserts by 15.5%; zIO slows them down by 9.7%
+because the copied data is accessed (B-tree, journal) and faults.
+"""
+
+from conftest import emit, run_once, scale
+
+from repro.common.units import KB
+
+
+def test_fig15_mongodb(benchmark):
+    from repro.analysis.figures import figure15
+
+    if scale() == "full":
+        rows = run_once(benchmark, figure15, 10, 100 * KB)
+    else:
+        rows = run_once(benchmark, figure15, 4, 50 * KB)
+    emit("figure15", rows, "Figure 15: MongoDB average insertion latency")
+
+    by = {r["variant"]: r["vs_baseline"] for r in rows}
+    assert by["mcsquare"] < 1.0      # faster than baseline
+    assert by["zio"] > 1.0           # slower than baseline

@@ -1,0 +1,34 @@
+"""Figure 16: MVCC read-modify-write throughput vs fraction updated.
+
+Paper: for updates touching <25% of the 8KB tuple, (MC)² delivers up to
+78% higher throughput; at 100% with one thread the baseline catches up
+(the RMW read penalty outweighs the copy saving); with 8 threads the
+system is bandwidth-bound and (MC)² wins everywhere below 100%.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def _sweep(threads, txns):
+    from repro.analysis.figures import figure16
+    return figure16(threads=threads, txns=txns)
+
+
+def test_fig16a_mvcc_rmw_1thread(benchmark):
+    txns = 60 if scale() == "full" else 24
+    rows = run_once(benchmark, _sweep, 1, txns)
+    emit("figure16a", rows, "Figure 16a: MVCC RMW throughput, 1 thread")
+    by = {(r["variant"], r["fraction"]): r["kops_per_sec"] for r in rows}
+    small = by[("mcsquare", 0.0625)] / by[("memcpy", 0.0625)]
+    full = by[("mcsquare", 1.0)] / by[("memcpy", 1.0)]
+    assert small > 1.15
+    assert small > full              # benefit shrinks as updates grow
+
+
+def test_fig16b_mvcc_rmw_8threads(benchmark):
+    txns = 30 if scale() == "full" else 10
+    rows = run_once(benchmark, _sweep, 8, txns)
+    emit("figure16b", rows, "Figure 16b: MVCC RMW throughput, 8 threads")
+    by = {(r["variant"], r["fraction"]): r["kops_per_sec"] for r in rows}
+    for frac in (0.0625, 0.125, 0.25, 0.5):
+        assert by[("mcsquare", frac)] > by[("memcpy", frac)]

@@ -1,0 +1,32 @@
+"""Figure 17: MVCC write-only throughput (incl. non-temporal stores).
+
+Paper: plain write-only mimics RMW because RFOs still read memory;
+replacing the stores with non-temporal stores avoids the RFO and lets
+(MC)² win at every write fraction with one thread.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def _sweep(threads, txns):
+    from repro.analysis.figures import figure17
+    return figure17(threads=threads, txns=txns)
+
+
+def test_fig17a_mvcc_writeonly_1thread(benchmark):
+    txns = 60 if scale() == "full" else 24
+    rows = run_once(benchmark, _sweep, 1, txns)
+    emit("figure17a", rows, "Figure 17a: MVCC write-only, 1 thread")
+    by = {(r["variant"], r["fraction"]): r["kops_per_sec"] for r in rows}
+    assert by[("mcsquare", 0.0625)] > by[("memcpy", 0.0625)]
+    # Non-temporal stores beat the RFO path at high write fractions.
+    assert by[("mcsquare_nontemporal", 1.0)] > by[("mcsquare", 1.0)]
+
+
+def test_fig17b_mvcc_writeonly_8threads(benchmark):
+    txns = 30 if scale() == "full" else 10
+    rows = run_once(benchmark, _sweep, 8, txns)
+    emit("figure17b", rows, "Figure 17b: MVCC write-only, 8 threads")
+    by = {(r["variant"], r["fraction"]): r["kops_per_sec"] for r in rows}
+    for frac in (0.0625, 0.25):
+        assert by[("mcsquare", frac)] > by[("memcpy", frac)]

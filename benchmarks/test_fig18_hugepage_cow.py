@@ -1,0 +1,25 @@
+"""Figure 18: write latencies under huge-page copy-on-write.
+
+Paper: the native kernel spikes up to 455x on COW faults (2MB copies);
+the (MC)²-modified kernel (MCLAZY in copy_user_huge_page) keeps the
+worst case 250x lower.
+"""
+
+from conftest import emit, run_once, scale
+
+from repro.common.units import MB
+
+
+def test_fig18_hugepage_cow(benchmark):
+    from repro.analysis.figures import figure18
+
+    region = 64 * MB if scale() == "full" else 16 * MB
+    updates = 100 if scale() == "full" else 40
+    rows = run_once(benchmark, figure18, region, updates)
+    emit("figure18", rows,
+         "Figure 18: Huge-page COW write latencies (cycles)")
+
+    native = [r["cycles"] for r in rows if r["variant"] == "native"]
+    mc2 = [r["cycles"] for r in rows if r["variant"] == "mcsquare"]
+    assert max(native) > 50 * max(mc2)   # paper: 250x lower worst case
+    assert max(native) / min(native) > 100  # native spikes are huge

@@ -1,0 +1,25 @@
+"""Figure 19: Linux pipe transfer throughput.
+
+Paper: syscall overhead dominates small transfers; for larger transfers
+(MC)² roughly doubles throughput by eliding both kernel-buffer copies.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def test_fig19_pipe(benchmark):
+    from repro.analysis.figures import figure19
+
+    transfers = 20 if scale() == "full" else 8
+    rows = run_once(benchmark, figure19, transfers)
+    emit("figure19", rows,
+         "Figure 19: Pipe transfer throughput (bytes/kcycle)")
+
+    by = {(r["variant"], r["size"]): r["bytes_per_kcycle"] for r in rows}
+    # Large transfers: (MC)^2 roughly doubles throughput.
+    assert by[("mcsquare", "16KB")] > 1.5 * by[("native", "16KB")]
+    # Small transfers: syscall-dominated, difference is small.
+    ratio_small = by[("mcsquare", "1KB")] / by[("native", "1KB")]
+    assert 0.7 < ratio_small < 1.6
+    # Native throughput saturates with size.
+    assert by[("native", "16KB")] > by[("native", "1KB")]

@@ -1,0 +1,31 @@
+"""Figure 20: Protobuf runtime and CTT-full stalls across CTT configs.
+
+Paper: best-to-worst spread is only ~5%; small tables (1,024 entries) or
+high copy thresholds (90%) stall the CPU on a full CTT; 2,048 entries at
+a 50% threshold avoids stalls.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def test_fig20_ctt_sweep(benchmark):
+    from repro.analysis.figures import figure20
+
+    num_ops = 60 if scale() == "full" else 25
+    rows = run_once(benchmark, figure20, num_ops)
+    emit("figure20", rows,
+         "Figure 20: Protobuf vs CTT entries x copy threshold")
+
+    stalls = {(r["ctt_entries"], r["threshold"]):
+              r["ctt_full_stall_cycles"] for r in rows}
+    times = {(r["ctt_entries"], r["threshold"]): r["runtime_ms"]
+             for r in rows}
+    # A small table with a high (90%) threshold stalls the CPU; the 50%
+    # threshold keeps the same table from filling (paper Fig. 20b).
+    assert stalls[(16, 0.9)] > stalls[(16, 0.5)]
+    # A comfortably-sized table never stalls at the paper's threshold.
+    assert stalls[(64, 0.5)] == 0
+    # Runtime spread across configurations stays modest (paper: ~5%;
+    # our scaled tables are stressed harder, so allow more).
+    spread = max(times.values()) / min(times.values())
+    assert spread < 2.5

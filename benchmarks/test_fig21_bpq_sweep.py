@@ -1,0 +1,25 @@
+"""Figure 21: source-overwrite runtime vs BPQ entries.
+
+Paper: 1-entry BPQs serialize source writes; 2 entries give ~35% speedup
+over 1; returns diminish, with 16 entries only ~2% better than 8.
+"""
+
+from conftest import emit, run_once
+
+
+def test_fig21_bpq_sweep(benchmark):
+    from repro.analysis.figures import figure21
+
+    rows = run_once(benchmark, figure21)
+    emit("figure21", rows, "Figure 21: Runtime vs BPQ entries")
+
+    import collections
+    by_buffer = collections.defaultdict(dict)
+    for r in rows:
+        by_buffer[r["buffer"]][r["bpq_entries"]] = r["normalized_runtime"]
+    for buffer, series in by_buffer.items():
+        assert series[2] < series[1], f"2 entries should beat 1 ({buffer})"
+        assert series[8] <= series[2]
+        gain_1_to_2 = series[1] - series[2]
+        gain_8_to_16 = series[8] - series[16]
+        assert gain_1_to_2 > gain_8_to_16  # diminishing returns

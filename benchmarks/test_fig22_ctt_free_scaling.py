@@ -1,0 +1,25 @@
+"""Figure 22: MVCC speedup vs threads x parallel CTT frees.
+
+Paper: at low thread counts the CTT never fills, so freeing parallelism
+is irrelevant; at high thread counts single-entry freeing stalls and
+parallel freeing restores the speedup.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def test_fig22_ctt_free_scaling(benchmark):
+    from repro.analysis.figures import figure22
+
+    txns = 40 if scale() == "full" else 15
+    rows = run_once(benchmark, figure22, txns)
+    emit("figure22", rows,
+         "Figure 22: MVCC throughput vs parallel CTT frees")
+
+    by = {(r["threads"], r["parallel_frees"]):
+          r["normalized_throughput"] for r in rows}
+    # One thread: the table never fills, so freeing parallelism is moot.
+    one_thread = [by[(1, f)] for f in (1, 2, 4, 8)]
+    assert max(one_thread) - min(one_thread) < 0.35
+    # Eight threads: parallel freeing beats single-entry freeing.
+    assert max(by[(8, f)] for f in (2, 4, 8)) > by[(8, 1)] * 1.05

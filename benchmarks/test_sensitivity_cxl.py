@@ -1,0 +1,44 @@
+"""Sensitivity: copy mechanisms vs memory latency (paper §I motivation).
+
+The introduction argues lazy copies grow more valuable as memory
+latencies worsen (capacity tiers, CXL-attached DRAM).  This study runs
+the Fig. 10-style copy-latency comparison across DDR speed grades,
+including a CXL profile with a ~70 ns link adder, and checks that
+(MC)²'s advantage widens with latency.
+"""
+
+from conftest import emit, run_once
+
+from repro.common.units import KB
+
+
+def _sweep():
+    from repro.common import params
+    from repro.dram.timing import CXL_DDR4, DDR4_2400, DDR4_3200, apply_timing
+    from repro.workloads.micro.latency import measure_copy_latency
+
+    saved = (params.DRAM_ROW_HIT_CYCLES, params.DRAM_ROW_MISS_CYCLES,
+             params.DRAM_ROW_CONFLICT_CYCLES, params.DRAM_BURST_CYCLES)
+    rows = []
+    try:
+        for grade in (DDR4_3200, DDR4_2400, CXL_DDR4):
+            apply_timing(grade)
+            eager = measure_copy_latency("memcpy", 64 * KB)["ns"]
+            lazy = measure_copy_latency("mcsquare", 64 * KB)["ns"]
+            rows.append({"memory": grade.name,
+                         "memcpy_ns": eager, "mcsquare_ns": lazy,
+                         "advantage": eager / lazy})
+    finally:
+        (params.DRAM_ROW_HIT_CYCLES, params.DRAM_ROW_MISS_CYCLES,
+         params.DRAM_ROW_CONFLICT_CYCLES, params.DRAM_BURST_CYCLES) = saved
+    return rows
+
+
+def test_sensitivity_memory_latency(benchmark):
+    rows = run_once(benchmark, _sweep)
+    emit("sensitivity_cxl", rows,
+         "Sensitivity: 64KB copy latency across memory grades")
+    by = {r["memory"]: r["advantage"] for r in rows}
+    # Slower memory -> bigger lazy-copy advantage (the paper's premise).
+    assert by["CXL-DDR4-2400"] > by["DDR4-2400"] > 1.0
+    assert by["DDR4-2400"] >= by["DDR4-3200"] * 0.9

@@ -1,0 +1,14 @@
+"""Table I: the simulated configuration."""
+
+from conftest import emit, run_once
+
+
+def test_table1_config(benchmark):
+    from repro.analysis.figures import table1
+
+    rows = run_once(benchmark, table1)
+    emit("table1", rows, "Table I: Simulated configuration")
+    params = {r["parameter"]: r["value"] for r in rows}
+    assert params["CPUs"] == 8
+    assert params["DRAM channels"] == 2
+    assert params["CTT entries"] == 2048

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Copy-on-write snapshots with huge pages (§V-B, Fig. 18).
+
+An in-memory database forks to take a consistent snapshot.  With huge
+pages the first write to each 2MB page triggers a COW fault whose
+handler copies the whole page — a latency spike of two-plus orders of
+magnitude.  The (MC)²-modified kernel replaces the copy in
+``copy_user_huge_page`` with a single MCLAZY.
+
+Run:  python examples/cow_snapshot.py
+"""
+
+from repro.common.units import MB
+from repro.workloads.hugepage import run_hugepage_cow
+
+
+def sparkline(values, width=60):
+    """Crude log-scale latency strip."""
+    import math
+    marks = " .:-=+*#%@"
+    lo = math.log10(max(min(values), 1))
+    hi = math.log10(max(values))
+    span = max(hi - lo, 1e-9)
+    out = []
+    for v in values[:width]:
+        level = (math.log10(max(v, 1)) - lo) / span
+        out.append(marks[min(int(level * (len(marks) - 1)), len(marks) - 1)])
+    return "".join(out)
+
+
+def main() -> None:
+    region = 16 * MB
+    updates = 40
+    print(f"fork() a {region // MB}MB huge-page dataset, then perform "
+          f"{updates} random 8-byte updates\n")
+
+    for engine in ("native", "mcsquare"):
+        r = run_hugepage_cow(engine, region_size=region,
+                             num_updates=updates)
+        lat = r["latencies"]
+        print(f"{r['engine']:9s}: min {r['min_latency']:>8d} cycles, "
+              f"max {r['max_latency']:>9d} cycles "
+              f"(spikes {r['spike_ratio']:.0f}x), "
+              f"{r['cow_faults']} COW faults")
+        print(f"           per-access latency (log scale): "
+              f"{sparkline(lat)}")
+        if engine == "native":
+            native_max = r["max_latency"]
+        else:
+            print(f"\nworst-case fault latency is "
+                  f"{native_max / r['max_latency']:.0f}x lower with "
+                  f"(MC)^2 (the paper reports up to 250x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""MVCC database: tuple-wise copying with (MC)² (§V-B, Figs. 16-17).
+
+A Cicada-style multi-version database copies the whole 8KB tuple on every
+update for transactional isolation, even when the transaction changes a
+few bytes.  (MC)² makes the copy prospective, so only the updated
+fraction ever pays the copy penalty.
+
+Run:  python examples/mvcc_database.py
+"""
+
+from repro.workloads.mvcc import run_mvcc
+
+
+def main() -> None:
+    print("read-modify-write transactions over 8KB tuples, 1 thread")
+    print(f"{'updated':>9s} {'memcpy kOps/s':>14s} {'(MC)^2 kOps/s':>14s} "
+          f"{'gain':>7s}")
+    for fraction in (0.0625, 0.125, 0.25, 0.5, 1.0):
+        base = run_mvcc("memcpy", fraction, txns_per_thread=20)
+        mc2 = run_mvcc("mcsquare", fraction, txns_per_thread=20)
+        gain = mc2["kops_per_sec"] / base["kops_per_sec"] - 1
+        print(f"{fraction:>8.1%} {base['kops_per_sec']:>14.1f} "
+              f"{mc2['kops_per_sec']:>14.1f} {gain:>+7.0%}")
+
+    print()
+    print("same sweep with 8 threads (memory-bandwidth bound)")
+    print(f"{'updated':>9s} {'memcpy kOps/s':>14s} {'(MC)^2 kOps/s':>14s} "
+          f"{'gain':>7s}")
+    for fraction in (0.0625, 0.25, 1.0):
+        base = run_mvcc("memcpy", fraction, num_threads=8,
+                        txns_per_thread=8)
+        mc2 = run_mvcc("mcsquare", fraction, num_threads=8,
+                       txns_per_thread=8)
+        gain = mc2["kops_per_sec"] / base["kops_per_sec"] - 1
+        print(f"{fraction:>8.1%} {base['kops_per_sec']:>14.1f} "
+              f"{mc2['kops_per_sec']:>14.1f} {gain:>+7.0%}")
+
+    print()
+    print("The gain is largest for small update fractions: the baseline")
+    print("reads the whole tuple from memory to copy it, while (MC)^2")
+    print("reads only the lines the transaction actually modifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""User↔kernel pipe transfers with lazy copies (§V-B, Fig. 19).
+
+Each pipe transfer pays two syscalls and two kernel-buffer copies.  The
+(MC)²-modified kernel replaces both copies in ``pipe_write`` /
+``pipe_read`` with lazy copies, roughly doubling throughput for larger
+transfers.
+
+Run:  python examples/pipe_transfer.py
+"""
+
+from repro.common.units import KB, pretty_size
+from repro.workloads.pipe import run_pipe
+
+
+def main() -> None:
+    sizes = (1 * KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB)
+    print(f"{'size':>6s} {'native B/kcyc':>14s} {'(MC)^2 B/kcyc':>14s} "
+          f"{'gain':>7s}")
+    for size in sizes:
+        native = run_pipe("native", size, num_transfers=8)
+        mc2 = run_pipe("mcsquare", size, num_transfers=8)
+        gain = mc2["bytes_per_kcycle"] / native["bytes_per_kcycle"] - 1
+        print(f"{pretty_size(size):>6s} "
+              f"{native['bytes_per_kcycle']:>14.0f} "
+              f"{mc2['bytes_per_kcycle']:>14.0f} {gain:>+7.0%}")
+    print()
+    print("Small transfers are syscall-dominated; once the copies carry")
+    print("the cost, eliding both of them roughly doubles throughput.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""(MC)²: Lazy MemCopy at the Memory Controller — Python reproduction.
+
+This package reproduces the system from Kamath & Peter, ISCA 2024: a
+memory-controller extension that executes ``memcpy`` lazily via a Copy
+Tracking Table and Bounce Pending Queue, together with the full simulated
+substrate (cores, caches, DRAM), the software interface (``memcpy_lazy``,
+interposer), the zIO baseline, an OS layer (virtual memory, fork/COW,
+pipes), and the paper's workloads.
+
+Quickstart::
+
+    from repro import System, SystemConfig
+    from repro.sw.memcpy import memcpy_lazy_ops
+
+    system = System(SystemConfig())          # Table I machine with (MC)²
+    src = system.alloc(4096); dst = system.alloc(4096)
+    system.backing.fill(src, 4096, 0xAB)
+    system.run_program(memcpy_lazy_ops(system, dst, src, 4096))
+    assert system.read_memory(dst, 4096) == system.read_memory(src, 4096)
+"""
+
+from repro.system.config import BASELINE, TABLE1, SystemConfig, small_system
+from repro.system.system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "SystemConfig",
+    "TABLE1",
+    "BASELINE",
+    "small_system",
+    "__version__",
+]

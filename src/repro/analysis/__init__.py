@@ -1,0 +1,6 @@
+"""Result assembly: one builder per paper figure/table."""
+
+from repro.analysis.figures import format_rows
+from repro.analysis.plotting import bar_chart, cdf_plot, line_plot
+
+__all__ = ["format_rows", "figures", "bar_chart", "line_plot", "cdf_plot"]

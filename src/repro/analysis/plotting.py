@@ -1,0 +1,97 @@
+"""Terminal plotting for figure data (no external dependencies).
+
+The benchmark harness emits tab-aligned tables; these helpers render the
+same row dicts as ASCII bar charts and line plots so a figure's *shape*
+can be eyeballed straight from a terminal, like the paper's PNGs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def bar_chart(rows: Sequence[Dict[str, object]], label_key: str,
+              value_key: str, width: int = 50,
+              title: str = "") -> str:
+    """Horizontal bar chart, one bar per row."""
+    if not rows:
+        return "(no data)"
+    values = [float(r[value_key]) for r in rows]
+    peak = max(max(values), 1e-12)
+    label_w = max(len(str(r[label_key])) for r in rows)
+    lines = [title] if title else []
+    for r, v in zip(rows, values):
+        bar = "#" * max(1, int(v / peak * width)) if v > 0 else ""
+        lines.append(f"{str(r[label_key]):>{label_w}} | {bar} {v:g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Sequence[Dict[str, object]], group_key: str,
+                      series_key: str, value_key: str,
+                      width: int = 40, title: str = "") -> str:
+    """Bars grouped by ``group_key``, one bar per ``series_key`` value."""
+    if not rows:
+        return "(no data)"
+    values = [float(r[value_key]) for r in rows]
+    peak = max(max(values), 1e-12)
+    series_w = max(len(str(r[series_key])) for r in rows)
+    lines = [title] if title else []
+    current_group = object()
+    for r in rows:
+        if r[group_key] != current_group:
+            current_group = r[group_key]
+            lines.append(f"{group_key}={current_group}")
+        v = float(r[value_key])
+        bar = "#" * max(1, int(v / peak * width)) if v > 0 else ""
+        lines.append(f"  {str(r[series_key]):>{series_w}} | {bar} {v:g}")
+    return "\n".join(lines)
+
+
+def line_plot(series: Dict[str, List[float]], height: int = 12,
+              width: int = 60, title: str = "",
+              log_y: bool = False) -> str:
+    """Multi-series line plot; each series is a list of y values.
+
+    Series are drawn with distinct glyphs on a shared canvas; x positions
+    spread each series evenly across the width.
+    """
+    glyphs = "*o+x@%&"
+    all_vals = [v for vs in series.values() for v in vs if v is not None]
+    if not all_vals:
+        return "(no data)"
+
+    def _t(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if log_y else v
+
+    lo = min(_t(v) for v in all_vals)
+    hi = max(_t(v) for v in all_vals)
+    span = max(hi - lo, 1e-12)
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, vs) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        n = len(vs)
+        for i, v in enumerate(vs):
+            if v is None:
+                continue
+            x = int(i / max(n - 1, 1) * (width - 1))
+            y = int((_t(v) - lo) / span * (height - 1))
+            canvas[height - 1 - y][x] = glyph
+    lines = [title] if title else []
+    lines += ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(legend + ("   (log y)" if log_y else ""))
+    return "\n".join(lines)
+
+
+def cdf_plot(points: Sequence[tuple], width: int = 50,
+             title: str = "") -> str:
+    """Render (label, cumulative_fraction) pairs as a CDF strip."""
+    lines = [title] if title else []
+    label_w = max(len(str(l)) for l, _ in points)
+    for label, frac in points:
+        bar = "#" * int(float(frac) * width)
+        lines.append(f"{str(label):>{label_w}} | {bar} {float(frac):.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Assemble a results summary from the generated ``results/`` files.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated ``results/``,
+:func:`build_report` stitches every exhibit into one text report (the
+reproduction's analogue of the artifact's ``figures/`` folder), and
+:func:`coverage` lists which paper exhibits have been regenerated.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional
+
+#: Every exhibit the paper's evaluation contains, in presentation order.
+EXPECTED_EXHIBITS = [
+    "table1", "figure2", "figure3", "figure4",
+    "figure10", "figure11", "figure12", "figure13", "figure14",
+    "figure15", "figure16a", "figure16b", "figure17a", "figure17b",
+    "figure18", "figure19", "figure20", "figure21", "figure22",
+    "ablation_wide_writeback", "ablation_async_engine",
+    "ablation_interposer", "sensitivity_cxl",
+]
+
+
+def default_results_dir() -> pathlib.Path:
+    """``results/`` at the repository root."""
+    return pathlib.Path(__file__).resolve().parents[3] / "results"
+
+
+def coverage(results_dir: Optional[pathlib.Path] = None) -> Dict[str, bool]:
+    """Which expected exhibits have a generated result file."""
+    results_dir = results_dir or default_results_dir()
+    return {name: (results_dir / f"{name}.txt").exists()
+            for name in EXPECTED_EXHIBITS}
+
+
+def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
+    """One combined text report of every generated exhibit."""
+    results_dir = results_dir or default_results_dir()
+    sections: List[str] = [
+        "(MC)^2 reproduction — generated results",
+        "=" * 46,
+    ]
+    present = coverage(results_dir)
+    done = sum(present.values())
+    sections.append(f"exhibits generated: {done}/{len(present)}")
+    missing = [n for n, ok in present.items() if not ok]
+    if missing:
+        sections.append("missing (run pytest benchmarks/ --benchmark-only): "
+                        + ", ".join(missing))
+    sections.append("")
+    for name in EXPECTED_EXHIBITS:
+        path = results_dir / f"{name}.txt"
+        if path.exists():
+            sections.append(path.read_text().rstrip())
+            sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: print the combined report (optionally to a file)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.report",
+        description="Summarize generated (MC)^2 reproduction results.")
+    parser.add_argument("--results", type=pathlib.Path, default=None,
+                        help="results directory (default: repo results/)")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+    report = build_report(args.results)
+    if args.output:
+        args.output.write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Cache hierarchy: set-associative caches, stride prefetcher."""
+
+from repro.cache.cache import Cache, CacheLine
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import StridePrefetcher
+
+__all__ = ["Cache", "CacheLine", "CacheHierarchy", "StridePrefetcher"]

@@ -1,0 +1,161 @@
+"""Set-associative write-back caches carrying functional data.
+
+A :class:`Cache` is a plain state container (tags + data + LRU); the
+:class:`~repro.cache.hierarchy.CacheHierarchy` drives lookups, fills,
+evictions and timing.  Lines carry real bytes: dirty data lives only in
+the cache until written back, which is what makes the (MC)² BPQ semantics
+(lazy copies read *pre-write* memory) testable end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import CACHELINE_SIZE, align_down
+from repro.sim.stats import StatGroup
+
+
+class CacheLine:
+    """One resident cacheline: tag state plus its 64 data bytes."""
+
+    __slots__ = ("addr", "dirty", "data", "last_used")
+
+    def __init__(self, addr: int, data: bytes, now: int):
+        self.addr = addr
+        self.dirty = False
+        self.data = bytearray(data)
+        self.last_used = now
+
+
+class Cache:
+    """A set-associative cache with a pluggable replacement policy."""
+
+    def __init__(self, name: str, size: int, assoc: int,
+                 stats: Optional[StatGroup] = None,
+                 policy: Optional["ReplacementPolicy"] = None):
+        from repro.cache.replacement import LruPolicy
+        if size % (assoc * CACHELINE_SIZE):
+            raise ConfigError(f"{name}: size {size} not divisible by "
+                              f"assoc*linesize")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.policy = policy or LruPolicy()
+        self.num_sets = size // (assoc * CACHELINE_SIZE)
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(self.num_sets)]
+        stats = stats or StatGroup(name)
+        self.stats = stats
+        self.hits = stats.counter("hits", "lookups that hit")
+        self.misses = stats.counter("misses", "lookups that missed")
+        self.evictions = stats.counter("evictions", "lines evicted")
+        self.dirty_evictions = stats.counter(
+            "dirty_evictions", "evictions requiring writeback")
+        self.invalidations = stats.counter("invalidations", "lines invalidated")
+
+    # ------------------------------------------------------------- lookup
+    def _set_of(self, addr: int) -> Dict[int, CacheLine]:
+        index = (addr // CACHELINE_SIZE) % self.num_sets
+        return self._sets[index]
+
+    def lookup(self, addr: int, now: int, touch: bool = True
+               ) -> Optional[CacheLine]:
+        """Find the line containing ``addr``; updates LRU when ``touch``."""
+        line_addr = align_down(addr, CACHELINE_SIZE)
+        line = self._set_of(line_addr).get(line_addr)
+        if line is not None and touch:
+            line.last_used = now
+            self.policy.on_touch(line)
+        return line
+
+    def probe(self, addr: int) -> bool:
+        """Tag check without LRU update or stats."""
+        line_addr = align_down(addr, CACHELINE_SIZE)
+        return line_addr in self._set_of(line_addr)
+
+    # --------------------------------------------------------------- fill
+    def fill(self, addr: int, data: bytes, now: int,
+             dirty: bool = False) -> Optional[CacheLine]:
+        """Insert a line, evicting the LRU victim if the set is full.
+
+        Returns the evicted :class:`CacheLine` when one was displaced
+        (caller writes it back if dirty), else ``None``.
+        """
+        line_addr = align_down(addr, CACHELINE_SIZE)
+        cset = self._set_of(line_addr)
+        existing = cset.get(line_addr)
+        if existing is not None:
+            # The resident copy is at least as new as any incoming fill
+            # (fills carry memory data; dirty bytes live here), so never
+            # clobber it.  Writebacks into L2 may still set the dirty bit.
+            existing.dirty = existing.dirty or dirty
+            existing.last_used = now
+            if dirty:
+                existing.data = bytearray(data)
+            return None
+        victim: Optional[CacheLine] = None
+        if len(cset) >= self.assoc:
+            victim_addr = self.policy.victim(cset, now)
+            victim = cset.pop(victim_addr)
+            self.evictions.inc()
+            if victim.dirty:
+                self.dirty_evictions.inc()
+        line = CacheLine(line_addr, data, now)
+        line.dirty = dirty
+        cset[line_addr] = line
+        self.policy.on_fill(line)
+        return victim
+
+    # ----------------------------------------------------------- maintain
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Drop the line containing ``addr`` (returns it if present)."""
+        line_addr = align_down(addr, CACHELINE_SIZE)
+        line = self._set_of(line_addr).pop(line_addr, None)
+        if line is not None:
+            self.invalidations.inc()
+        return line
+
+    def clean(self, addr: int) -> Optional[bytes]:
+        """CLWB semantics: clear the dirty bit, return data if it was dirty."""
+        line = self.lookup(addr, 0, touch=False)
+        if line is not None and line.dirty:
+            line.dirty = False
+            return bytes(line.data)
+        return None
+
+    def resident_lines(self) -> int:
+        """Total lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def dirty_lines(self) -> List[CacheLine]:
+        """All dirty lines (used to flush at end of a region of interest)."""
+        return [line for cset in self._sets for line in cset.values()
+                if line.dirty]
+
+    def clear(self) -> None:
+        """Drop every line without writeback (test helper)."""
+        for cset in self._sets:
+            cset.clear()
+
+    def write_bytes(self, addr: int, data: bytes, now: int) -> bool:
+        """Write ``data`` into a resident line; True on success."""
+        line = self.lookup(addr, now)
+        if line is None:
+            return False
+        offset = addr - line.addr
+        if offset + len(data) > CACHELINE_SIZE:
+            raise ConfigError("store crosses a cacheline boundary")
+        line.data[offset:offset + len(data)] = data
+        line.dirty = True
+        return True
+
+    def read_bytes(self, addr: int, size: int, now: int) -> Optional[bytes]:
+        """Read ``size`` bytes from a resident line; None on miss."""
+        line = self.lookup(addr, now)
+        if line is None:
+            return None
+        offset = addr - line.addr
+        if offset + size > CACHELINE_SIZE:
+            raise ConfigError("load crosses a cacheline boundary")
+        return bytes(line.data[offset:offset + size])

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent internal state."""
+
+
+class AddressError(ReproError):
+    """An access touched an unmapped or out-of-range address."""
+
+
+class ProtectionFault(ReproError):
+    """A virtual-memory access violated page protection bits."""
+
+
+class AlignmentError(ReproError):
+    """An operation violated an alignment requirement (e.g. MCLAZY)."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity hardware structure cannot accept a new entry."""

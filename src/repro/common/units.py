@@ -1,0 +1,88 @@
+"""Size and time units used throughout the simulator.
+
+All sizes are in bytes; all simulated time is in CPU cycles (the CPU clock
+is the master clock, 4 GHz per Table I of the paper, so 1 cycle = 0.25 ns).
+Helpers convert between nanoseconds and cycles at the configured clock.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------- sizes
+B = 1
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+CACHELINE_SIZE = 64
+PAGE_SIZE = 4 * KB
+HUGE_PAGE_SIZE = 2 * MB
+
+# ---------------------------------------------------------------- clock
+CPU_CLOCK_GHZ = 4.0  # Table I: 4 GHz
+
+
+def ns_to_cycles(ns: float, clock_ghz: float = CPU_CLOCK_GHZ) -> int:
+    """Convert nanoseconds to an integral number of CPU cycles (rounded up)."""
+    cycles = ns * clock_ghz
+    whole = int(cycles)
+    return whole if cycles == whole else whole + 1
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float = CPU_CLOCK_GHZ) -> float:
+    """Convert CPU cycles back to nanoseconds."""
+    return cycles / clock_ghz
+
+
+def cycles_to_us(cycles: float, clock_ghz: float = CPU_CLOCK_GHZ) -> float:
+    """Convert CPU cycles to microseconds."""
+    return cycles / clock_ghz / 1000.0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_rem(addr: int, alignment: int) -> int:
+    """Bytes needed to advance ``addr`` to the next ``alignment`` boundary.
+
+    Mirrors the ``ALIGN_REM`` macro in the paper's Figure 8 pseudocode:
+    returns 0 when ``addr`` is already aligned.
+    """
+    rem = addr & (alignment - 1)
+    return 0 if rem == 0 else alignment - rem
+
+
+def is_aligned(addr: int, alignment: int) -> bool:
+    """True when ``addr`` is a multiple of ``alignment``."""
+    return (addr & (alignment - 1)) == 0
+
+
+def cacheline_of(addr: int) -> int:
+    """Cacheline-aligned base address containing ``addr``."""
+    return align_down(addr, CACHELINE_SIZE)
+
+
+def cachelines_spanned(addr: int, size: int) -> int:
+    """Number of distinct cachelines touched by ``[addr, addr+size)``."""
+    if size <= 0:
+        return 0
+    first = align_down(addr, CACHELINE_SIZE)
+    last = align_down(addr + size - 1, CACHELINE_SIZE)
+    return (last - first) // CACHELINE_SIZE + 1
+
+
+def pretty_size(size: int) -> str:
+    """Human-readable size string, e.g. ``64B``, ``4KB``, ``2MB``."""
+    if size >= GB and size % GB == 0:
+        return f"{size // GB}GB"
+    if size >= MB and size % MB == 0:
+        return f"{size // MB}MB"
+    if size >= KB and size % KB == 0:
+        return f"{size // KB}KB"
+    return f"{size}B"

@@ -1,0 +1,5 @@
+"""Simplified out-of-order core model."""
+
+from repro.cpu.core import Core, Program
+
+__all__ = ["Core", "Program"]

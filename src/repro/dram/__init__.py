@@ -1,0 +1,8 @@
+"""DDR4-style DRAM timing and address mapping."""
+
+from repro.dram.address_map import AddressMap, DramLocation
+from repro.dram.device import Bank, DramChannel
+from repro.dram.timing import CXL_DDR4, DDR4_2400, DDR4_3200, DdrTiming
+
+__all__ = ["AddressMap", "DramLocation", "DramChannel", "Bank",
+           "DdrTiming", "DDR4_2400", "DDR4_3200", "CXL_DDR4"]

@@ -1,0 +1,84 @@
+"""DDR4-style DRAM device timing.
+
+Each channel has a set of banks, each with an open-row register.  An access
+costs a device latency that depends on the row-buffer state (hit / closed /
+conflict) plus data-burst occupancy of the shared channel data bus.  The
+channel bus is modelled as a busy-until resource: requests serialize on it,
+which is what produces bandwidth-bound behaviour (Figs 16b/17b/22).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common import params
+from repro.dram.address_map import DramLocation
+from repro.sim.stats import StatGroup
+
+
+class Bank:
+    """One DRAM bank: tracks the open row and when it is next usable."""
+
+    __slots__ = ("open_row", "ready_at")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.ready_at: int = 0
+
+
+class DramChannel:
+    """Timing model of one DRAM channel (one per memory controller)."""
+
+    def __init__(self, stats: StatGroup, banks: int = params.DRAM_BANKS_PER_CHANNEL):
+        self.banks: Dict[int, Bank] = {b: Bank() for b in range(banks)}
+        self.bus_free_at: int = 0
+        self.stats = stats
+        self._row_hits = stats.counter("row_hits", "row-buffer hits")
+        self._row_misses = stats.counter("row_misses", "closed-row activations")
+        self._row_conflicts = stats.counter("row_conflicts", "row-buffer conflicts")
+        self._busy_cycles = stats.counter("bus_busy_cycles", "data-bus occupancy")
+        self._accesses = stats.counter("accesses", "total device accesses")
+
+    def access(self, loc: DramLocation, now: int) -> int:
+        """Perform one cacheline access; returns the completion cycle.
+
+        Updates bank open-row state and channel bus occupancy.  ``now`` is
+        the cycle the request reaches the device.
+        """
+        bank = self.banks[loc.bank]
+        start = max(now, bank.ready_at)
+
+        if bank.open_row is None:
+            device = params.DRAM_ROW_MISS_CYCLES
+            occupancy = device  # activation blocks the bank
+            self._row_misses.inc()
+        elif bank.open_row == loc.row:
+            device = params.DRAM_ROW_HIT_CYCLES
+            # Back-to-back CAS to an open row pipeline at tCCD: the bank
+            # accepts the next column command after roughly one burst.
+            occupancy = params.DRAM_BURST_CYCLES
+            self._row_hits.inc()
+        else:
+            device = params.DRAM_ROW_CONFLICT_CYCLES
+            # FR-FCFS controllers batch same-row requests before
+            # switching, amortizing the precharge+activate over several
+            # column accesses.  Our in-order bank cannot reorder, so the
+            # batching shows up as reduced *occupancy* (throughput) while
+            # each conflicting access still pays the full latency.
+            occupancy = device // 4
+            self._row_conflicts.inc()
+        bank.open_row = loc.row
+
+        # Banks overlap their device latency; only the 64B data burst
+        # serializes on the shared channel data bus.
+        data_ready = max(start + device, self.bus_free_at)
+        done = data_ready + params.DRAM_BURST_CYCLES
+        self.bus_free_at = done
+        bank.ready_at = start + occupancy
+        self._busy_cycles.inc(params.DRAM_BURST_CYCLES)
+        self._accesses.inc()
+        return done
+
+    def earliest_start(self, now: int) -> int:
+        """Earliest cycle a new access could begin on this channel."""
+        return max(now, self.bus_free_at)

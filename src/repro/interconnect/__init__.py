@@ -1,0 +1,5 @@
+"""Memory interconnect."""
+
+from repro.interconnect.bus import Interconnect
+
+__all__ = ["Interconnect"]

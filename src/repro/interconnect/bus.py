@@ -1,0 +1,67 @@
+"""Memory interconnect between the LLC and the memory controllers.
+
+A constant-latency, order-preserving link: packets are delivered to the
+owning controller (by channel interleave) exactly ``hop_cycles`` after
+issue, in issue order.  Order preservation models the FIFO write buffer
+the paper relies on ("the caches' FIFO write buffer ensures that the
+writebacks reach the MC before the MCLAZY packet", §III-B1).
+
+Control packets (MCLAZY / MCFREE) are *broadcast*: every controller must
+update its CTT replica.  The shared CTT object makes the replicas
+trivially consistent; the broadcast is charged as latency and counted in
+controller stats.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common import params
+from repro.memctrl.controller import MemoryController
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet, PacketType
+from repro.sim.stats import StatGroup
+
+
+class Interconnect:
+    """Routes packets from the cache side to memory controllers."""
+
+    def __init__(self, sim: Simulator, controllers: List[MemoryController],
+                 stats: StatGroup,
+                 hop_cycles: int = params.INTERCONNECT_HOP_CYCLES):
+        self.sim = sim
+        self.controllers = controllers
+        self.hop_cycles = hop_cycles
+        self.stats = stats
+        self._packets = stats.counter("packets", "packets transported")
+        self._broadcasts = stats.counter("broadcasts", "control broadcasts")
+        self._last_delivery = 0
+
+    def send(self, pkt: Packet) -> None:
+        """Deliver ``pkt`` to its controller after the hop latency.
+
+        Deliveries never reorder: each is scheduled no earlier than the
+        previous one.
+        """
+        self._packets.inc()
+        when = max(self.sim.now + self.hop_cycles, self._last_delivery)
+        self._last_delivery = when
+
+        if pkt.ptype in (PacketType.MCLAZY, PacketType.MCFREE):
+            # Broadcast: all CTT replicas observe it; the controller that
+            # owns the (first line of the) destination performs the shared
+            # mutation and acks the packet.
+            self._broadcasts.inc()
+            when += params.BROADCAST_CYCLES
+            owner = self._owner(pkt.addr)
+            self.sim.schedule_at(when, lambda: owner.receive(pkt),
+                                 label=f"xbar-{pkt.ptype.value}")
+            return
+
+        owner = self._owner(pkt.addr)
+        self.sim.schedule_at(when, lambda: owner.receive(pkt),
+                             label=f"xbar-{pkt.ptype.value}")
+
+    def _owner(self, addr: int) -> MemoryController:
+        channel = self.controllers[0].address_map.channel_of(addr)
+        return self.controllers[channel % len(self.controllers)]

@@ -1,0 +1,7 @@
+"""Instruction definitions, including MCLAZY and MCFREE."""
+
+from repro.isa.ops import (Op, OpKind, clwb, compute, load, mcfree, mclazy,
+                           mfence, nt_store, store)
+
+__all__ = ["Op", "OpKind", "load", "store", "nt_store", "clwb", "mclazy",
+           "mcfree", "mfence", "compute"]

@@ -1,0 +1,12 @@
+"""The (MC)^2 contribution: CTT, BPQ, and the extended controller."""
+
+from repro.mcsquare.bpq import BouncePendingQueue, BpqEntry
+from repro.mcsquare.controller import McSquareController
+from repro.mcsquare.ctt import CopyTrackingTable, CttEntry, InsertResult
+from repro.mcsquare.modeling import SramEstimate, estimate_bpq, estimate_ctt
+from repro.mcsquare.verification import ConsistencyChecker, ConsistencyError
+
+__all__ = ["CopyTrackingTable", "CttEntry", "InsertResult",
+           "BouncePendingQueue", "BpqEntry", "McSquareController",
+           "SramEstimate", "estimate_ctt", "estimate_bpq",
+           "ConsistencyChecker", "ConsistencyError"]

@@ -1,0 +1,110 @@
+"""Bounce Pending Queue (BPQ).
+
+The BPQ extends the memory controller's write pending queue (§III-A2).
+When a write arrives for a cacheline that is the *source* of one or more
+prospective copies, the write is parked here while (MC)² materializes the
+dependent destination lines from the pre-write memory contents.  Once every
+entry referencing the line is resolved, the parked write drains to memory.
+
+Reads and writes from the CPU to a parked line are merged and serviced
+directly from the BPQ (Fig. 9, states 3-6).  When the BPQ is full, further
+source-buffer writes are stalled, creating back-pressure on the caches —
+this is the effect the paper's Figure 21 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common import params
+from repro.common.errors import SimulationError
+from repro.common.units import CACHELINE_SIZE, align_down
+from repro.sim.packet import Packet
+from repro.sim.stats import StatGroup
+
+
+class BpqEntry:
+    """One parked source-line write awaiting lazy-copy resolution."""
+
+    __slots__ = ("line", "data", "packets", "pending_copies", "parked_at")
+
+    def __init__(self, line: int, data: bytes, packet: Packet, now: int):
+        self.line = line
+        self.data = bytearray(data)
+        self.packets: List[Packet] = [packet]
+        self.pending_copies = 0
+        self.parked_at = now
+
+    def merge(self, data: bytes, packet: Packet) -> None:
+        """Coalesce a newer full-line write to the same parked line."""
+        self.data = bytearray(data)
+        self.packets.append(packet)
+
+
+class BouncePendingQueue:
+    """Fixed-capacity queue of parked source writes for one MC."""
+
+    def __init__(self, capacity: int = params.BPQ_ENTRIES,
+                 stats: Optional[StatGroup] = None):
+        if capacity <= 0:
+            raise SimulationError("BPQ capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, BpqEntry] = {}
+        stats = stats or StatGroup("bpq")
+        self.stats = stats
+        self._parked = stats.counter("parked", "source writes parked")
+        self._merged = stats.counter("merged", "writes merged into a parked line")
+        self._drained = stats.counter("drained", "parked writes drained to memory")
+        self._full_stalls = stats.counter(
+            "full_stalls", "writes delayed because the BPQ was full")
+        self._occupancy_peak = stats.counter("peak_occupancy", "max entries held")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no further source write can be parked."""
+        return len(self._entries) >= self.capacity
+
+    def holds(self, addr: int) -> bool:
+        """True when the line containing ``addr`` is parked."""
+        return align_down(addr, CACHELINE_SIZE) in self._entries
+
+    def get(self, addr: int) -> Optional[BpqEntry]:
+        """The parked entry for the line containing ``addr``, if any."""
+        return self._entries.get(align_down(addr, CACHELINE_SIZE))
+
+    def park(self, line: int, data: bytes, packet: Packet, now: int) -> BpqEntry:
+        """Park a source write; the line must not already be parked."""
+        if line in self._entries:
+            raise SimulationError(f"line {line:#x} already parked")
+        if self.full:
+            raise SimulationError("BPQ full; caller must check before parking")
+        entry = BpqEntry(line, data, packet, now)
+        self._entries[line] = entry
+        self._parked.inc()
+        if len(self._entries) > self._occupancy_peak.value:
+            self._occupancy_peak.value = len(self._entries)
+        return entry
+
+    def merge(self, line: int, data: bytes, packet: Packet) -> BpqEntry:
+        """Coalesce a newer write into an already-parked line."""
+        entry = self._entries[line]
+        entry.merge(data, packet)
+        self._merged.inc()
+        return entry
+
+    def release(self, line: int) -> BpqEntry:
+        """Remove and return the parked entry (it is draining to memory)."""
+        entry = self._entries.pop(line)
+        self._drained.inc()
+        return entry
+
+    def record_full_stall(self) -> None:
+        """Account one write delayed by a full BPQ."""
+        self._full_stalls.inc()
+
+    def entries(self) -> List[BpqEntry]:
+        """Snapshot of parked entries."""
+        return list(self._entries.values())

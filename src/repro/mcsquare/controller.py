@@ -1,0 +1,526 @@
+"""(MC)² memory controller.
+
+Extends the baseline :class:`~repro.memctrl.controller.MemoryController`
+with the paper's three mechanisms (§III):
+
+* **Copy Tracking Table** — replicated across controllers (broadcast
+  consistency is charged as interconnect latency and counted in stats);
+  consulted in parallel with every MC-observed access.
+* **Bounce** — a read of a tracked destination line is rerouted to the
+  source line(s); the reconstructed line is returned to the core and, when
+  the destination WPQ is below 75% occupancy, also written back to memory
+  so future reads are served normally (the Fig. 13 "writeback"
+  optimization; disable with ``bounce_writeback=False``).
+* **Bounce Pending Queue** — a write to a tracked source line is parked
+  while the dependent destination lines are materialized from pre-write
+  memory, then drained (Fig. 9 state machine).
+* **Asynchronous freeing** — once the CTT passes its fill threshold, the
+  controller resolves the smallest entries in the background,
+  ``parallel_frees`` at a time, to keep the table from filling (§III-A1,
+  Figs. 20 and 22).
+
+Timing is charged on the owning channels through the shared simulator, so
+background copies contend for DRAM bandwidth with demand traffic, exactly
+the trade-off §III-A1 discusses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.common import params
+from repro.common.units import CACHELINE_SIZE, align_down
+from repro.dram.address_map import AddressMap
+from repro.mem.backing_store import BackingStore
+from repro.memctrl.controller import MemoryController
+from repro.mcsquare.bpq import BouncePendingQueue
+from repro.mcsquare.ctt import CopyTrackingTable, CttEntry
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet, PacketType
+from repro.sim.stats import StatGroup
+
+
+class McSquareController(MemoryController):
+    """One memory-controller channel with (MC)² extensions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel_id: int,
+        address_map: AddressMap,
+        backing: BackingStore,
+        stats: StatGroup,
+        ctt: CopyTrackingTable,
+        bpq_entries: int = params.BPQ_ENTRIES,
+        copy_threshold: float = params.CTT_COPY_THRESHOLD,
+        parallel_frees: int = params.CTT_PARALLEL_FREES,
+        bounce_writeback: bool = True,
+        eager_async_copies: bool = False,
+        wpq_entries: int = params.MC_WPQ_ENTRIES,
+        rpq_entries: int = params.MC_RPQ_ENTRIES,
+    ):
+        super().__init__(sim, channel_id, address_map, backing, stats,
+                         wpq_entries=wpq_entries, rpq_entries=rpq_entries)
+        self.ctt = ctt
+        self.bpq = BouncePendingQueue(bpq_entries, stats.group("bpq"))
+        self.copy_threshold = copy_threshold
+        self.parallel_frees = parallel_frees
+        self.bounce_writeback = bounce_writeback
+        # §VI extension: a copy engine drains the CTT continuously rather
+        # than waiting for the 50% threshold (fully asynchronous copies).
+        self.eager_async_copies = eager_async_copies
+        self.peers: List["McSquareController"] = []  # set by the system
+        self._bpq_overflow: Deque[Packet] = deque()
+        self._async_inflight = 0
+
+        self._bounces = stats.counter("bounces", "dest reads rerouted to source")
+        self._double_bounces = stats.counter(
+            "double_bounces", "bounces needing two source lines (misaligned)")
+        self._bounce_writebacks = stats.counter(
+            "bounce_writebacks", "reconstructed lines written back to memory")
+        self._bounce_wb_rejected = stats.counter(
+            "bounce_wb_rejected", "writebacks refused: WPQ >75% full")
+        self._bounce_dropped = stats.counter(
+            "bounce_dropped", "stale bounce writebacks dropped")
+        self._dest_write_untracks = stats.counter(
+            "dest_write_untracks", "CTT entries trimmed by destination writes")
+        self._src_write_copies = stats.counter(
+            "src_write_copies", "dest lines materialized due to source writes")
+        self._async_frees = stats.counter(
+            "async_frees", "CTT entries resolved by the async free engine")
+        self._async_copied_lines = stats.counter(
+            "async_copied_lines", "cachelines copied asynchronously")
+        self._ctt_full_stalls = stats.counter(
+            "ctt_full_stalls", "MCLAZY retries while the CTT was full")
+        self._ctt_full_stall_cycles = stats.counter(
+            "ctt_full_stall_cycles", "cycles MCLAZY packets waited on a full CTT")
+        self._broadcasts = stats.counter(
+            "broadcasts", "CTT-consistency broadcasts snooped")
+        self._eager_boundary_lines = stats.counter(
+            "eager_boundary_lines", "mixed-source lines resolved at insert")
+        self._mcfrees = stats.counter("mcfrees", "MCFREE hints processed")
+
+    # =============================================================== reads
+    def _handle_read(self, pkt: Packet) -> None:
+        line = align_down(pkt.addr, CACHELINE_SIZE)
+
+        # Reads to a parked source line are merged from the BPQ.
+        parked = self.bpq.get(line)
+        if parked is not None:
+            pkt.data = bytes(parked.data)
+            done = self.sim.now + params.MC_STATIC_LATENCY_CYCLES + 2
+            self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
+                                 label="bpq-forward")
+            self._reads.inc()
+            return
+
+        entry = self.ctt.lookup_dest_line(line)
+        if entry is not None:
+            self._bounce_read(pkt, line, entry)
+            return
+
+        self._reads.inc()
+        self._service_read_from_memory(pkt)
+
+    def _bounce_read(self, pkt: Packet, line: int, entry: CttEntry) -> None:
+        """Reroute a tracked-destination read to its source line(s).
+
+        Timing is event-driven: every DRAM access is issued at its actual
+        start cycle so that concurrent bounces pipeline through the banks
+        instead of reserving future bus slots in call order.
+        """
+        self._reads.inc()
+        self._bounces.inc()
+        src_start = entry.src_for_dst(line)
+        src_lines = sorted({align_down(src_start, CACHELINE_SIZE),
+                            align_down(src_start + CACHELINE_SIZE - 1,
+                                       CACHELINE_SIZE)})
+        if len(src_lines) == 2:
+            self._double_bounces.inc()
+
+        # Functional: compose the line from pre-write memory.
+        data = self.backing.read(src_start, CACHELINE_SIZE)
+        issued_at = self.sim.now
+
+        def _read_next(index: int) -> None:
+            if index < len(src_lines):
+                # Each bounce hop targets one source module; the second
+                # source line (misaligned copies) requires a further
+                # bounce that serializes behind the first (§III-B2).
+                src_line = src_lines[index]
+                owner = self._owner_of(src_line)
+                extra = (params.INTERCONNECT_HOP_CYCLES
+                         if owner is not self else 0)
+                loc = owner.address_map.decode(src_line)
+                done = owner.channel.access(loc, self.sim.now + extra)
+                self.sim.schedule_at(done, lambda: _read_next(index + 1),
+                                     label="bounce-src-read")
+                return
+            done = self.sim.now + params.MC_STATIC_LATENCY_CYCLES
+            pkt.data = data
+            self._read_latency.record(done - issued_at)
+            self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
+                                 label="bounce-respond")
+            self._maybe_bounce_writeback(line, src_start, data)
+
+        # The CTT lookup runs in parallel with the (preempted) access, so
+        # only its latency is added before the bounce departs.
+        self.sim.schedule(params.CTT_LATENCY_CYCLES,
+                          lambda: _read_next(0), label="bounce-start")
+
+    def _maybe_bounce_writeback(self, line: int, expected_src: int,
+                                data: bytes) -> None:
+        """Persist a reconstructed line so future reads hit memory.
+
+        Skipped when disabled, when the destination WPQ is contended
+        (§III-B2's 75% rule), or — checked again at completion — when the
+        tracking changed while the write was in flight.
+        """
+        if not self.bounce_writeback:
+            return
+        dest_owner = self._owner_of(line)
+        if dest_owner.wpq_fullness > params.WPQ_REJECT_THRESHOLD:
+            self._bounce_wb_rejected.inc()
+            return
+
+        def _complete_writeback() -> None:
+            current = self.ctt.lookup_dest_line(line)
+            if current is None or current.src_for_dst(line) != expected_src:
+                self._bounce_dropped.inc()  # CPU overwrote D meanwhile
+                return
+            if self.ctt.source_overlaps(line, CACHELINE_SIZE):
+                self._bounce_dropped.inc()  # D became someone's source
+                return
+            self.backing.write_line(line, data)
+            self.ctt.remove_dest_range(line, CACHELINE_SIZE)
+            self._broadcast_update()
+            self._bounce_writebacks.inc()
+            self._drain_ready_bpq_entries()
+
+        wb_loc = dest_owner.address_map.decode(line)
+        wb_done = dest_owner.channel.access(wb_loc, self.sim.now)
+        self.sim.schedule_at(wb_done, _complete_writeback,
+                             label="bounce-writeback")
+
+    # ============================================================== writes
+    def _handle_write(self, pkt: Packet) -> None:
+        line = align_down(pkt.addr, CACHELINE_SIZE)
+        if pkt.data is None:
+            pkt.data = self.backing.read_line(line)
+
+        # Writes to an already-parked line coalesce in the BPQ.
+        if self.bpq.holds(line):
+            self.bpq.merge(line, pkt.data, pkt)
+            self._writes.inc()
+            ack = self.sim.now + params.MC_STATIC_LATENCY_CYCLES
+            self.sim.schedule_at(ack, lambda: pkt.complete(self.sim.now),
+                                 label="bpq-merge-ack")
+            return
+
+        # Writes to a tracked source line park in the BPQ.
+        if self.ctt.source_overlaps(line, CACHELINE_SIZE):
+            if self.bpq.full:
+                self.bpq.record_full_stall()
+                self._bpq_overflow.append(pkt)
+                return  # ack (and hence CLWB completion) is delayed
+            self._park_source_write(pkt, line)
+            return
+
+        # Writes to a tracked destination stop the tracking.
+        if self.ctt.lookup_dest_line(line) is not None:
+            trimmed = self.ctt.remove_dest_range(line, CACHELINE_SIZE)
+            self._dest_write_untracks.inc(trimmed)
+            self._broadcast_update()
+            self._drain_ready_bpq_entries()
+        self._accept_write(pkt)
+
+    def _park_source_write(self, pkt: Packet, line: int) -> None:
+        """Fig. 9 states 3/5: hold the write, materialize dependents."""
+        self._writes.inc()
+        entry = self.bpq.park(line, pkt.data, pkt, self.sim.now)
+        ack = self.sim.now + params.MC_STATIC_LATENCY_CYCLES
+        self.sim.schedule_at(ack, lambda: pkt.complete(self.sim.now),
+                             label="bpq-park-ack")
+
+        dest_lines = self.ctt.dest_lines_for_source(line, CACHELINE_SIZE)
+        entry.pending_copies = len(dest_lines)
+        if not dest_lines:
+            self._drain_ready_bpq_entries()
+            return
+        when = self.sim.now + params.CTT_LATENCY_CYCLES
+        for dest_line in dest_lines:
+            when = self._schedule_materialize(
+                dest_line, when,
+                on_done=lambda: self._copy_done_for(entry))
+
+    def _copy_done_for(self, bpq_entry) -> None:
+        bpq_entry.pending_copies -= 1
+        self._drain_ready_bpq_entries()
+
+    # ===================================================== materialization
+    def _schedule_materialize(self, dest_line: int, start: int,
+                              on_done=None) -> int:
+        """Lazily copy one destination line; returns the finish cycle.
+
+        Reads the needed source line(s) from memory (never the BPQ),
+        composes the destination line, writes it to the destination
+        channel, and trims the CTT — unless the tracking changed while the
+        copy was in flight, in which case the result is dropped.
+        """
+        entry = self.ctt.lookup_dest_line(dest_line)
+        if entry is None:
+            if on_done is not None:
+                self.sim.schedule_at(max(start, self.sim.now),
+                                     lambda: on_done(), label="mat-noop")
+            return start
+        expected_src = entry.src_for_dst(dest_line)
+        data = self.backing.read(expected_src, CACHELINE_SIZE)
+        src_lines = sorted({align_down(expected_src, CACHELINE_SIZE),
+                            align_down(expected_src + CACHELINE_SIZE - 1,
+                                       CACHELINE_SIZE)})
+        steps = src_lines + [dest_line]  # reads, then the copy write
+
+        def _step(index: int) -> None:
+            if index < len(steps):
+                addr = steps[index]
+                owner = self._owner_of(addr)
+                loc = owner.address_map.decode(addr)
+                done = owner.channel.access(loc, self.sim.now)
+                self.sim.schedule_at(done, lambda: _step(index + 1),
+                                     label="materialize-step")
+                return
+            current = self.ctt.lookup_dest_line(dest_line)
+            if (current is not None
+                    and current.src_for_dst(dest_line) == expected_src):
+                # The line itself may back other prospective copies (it
+                # became a destination after an older copy sourced from
+                # it); resolve those from its pre-write contents first,
+                # then land this copy.
+                if self.ctt.source_overlaps(dest_line, CACHELINE_SIZE):
+                    self._resolve_dependents_of(dest_line, self.sim.now,
+                                                set())
+                self.backing.write_line(dest_line, data)
+                self.ctt.remove_dest_range(dest_line, CACHELINE_SIZE)
+                self._broadcast_update()
+                self._src_write_copies.inc()
+            else:
+                self._bounce_dropped.inc()
+            if on_done is not None:
+                on_done()
+
+        begin = max(start, self.sim.now)
+        self.sim.schedule_at(begin, lambda: _step(0),
+                             label="materialize-line")
+        # Estimated completion for the caller's pacing of further lines.
+        return begin + params.DRAM_ROW_HIT_CYCLES
+
+    def _drain_ready_bpq_entries(self) -> None:
+        """Drain parked writes whose line no longer backs any copy.
+
+        A parked entry's dependent destinations are re-derived here: the
+        CTT may have been rewritten (a newer overlapping copy) between
+        parking and materialization, leaving the original copies dropped
+        as stale while *new* entries still source from the parked line —
+        those must be materialized too or the entry would wait forever.
+        """
+        for entry in self.bpq.entries():
+            if entry.pending_copies > 0:
+                continue
+            if self.ctt.source_overlaps(entry.line, CACHELINE_SIZE):
+                # Still backing copies: issue the (possibly refreshed)
+                # materializations rather than waiting passively.
+                dest_lines = self.ctt.dest_lines_for_source(
+                    entry.line, CACHELINE_SIZE)
+                if dest_lines:
+                    entry.pending_copies = len(dest_lines)
+                    when = self.sim.now + params.CTT_LATENCY_CYCLES
+                    for dest_line in dest_lines:
+                        when = self._schedule_materialize(
+                            dest_line, when,
+                            on_done=lambda e=entry: self._copy_done_for(e))
+                continue
+            self.bpq.release(entry.line)
+            drained = Packet(PacketType.WRITE, entry.line, CACHELINE_SIZE)
+            drained.data = bytes(entry.data)
+            # A parked line may itself be a tracked destination (the
+            # write "completes" now): stop tracking it.
+            if self.ctt.lookup_dest_line(entry.line) is not None:
+                trimmed = self.ctt.remove_dest_range(entry.line,
+                                                     CACHELINE_SIZE)
+                self._dest_write_untracks.inc(trimmed)
+                self._broadcast_update()
+            self._accept_write(drained)
+            self._admit_overflow()
+
+    def _admit_overflow(self) -> None:
+        """Move stalled source writes into freed BPQ slots."""
+        while self._bpq_overflow and not self.bpq.full:
+            pkt = self._bpq_overflow.popleft()
+            line = align_down(pkt.addr, CACHELINE_SIZE)
+            if self.bpq.holds(line):
+                self.bpq.merge(line, pkt.data, pkt)
+                pkt.complete(self.sim.now)
+            elif self.ctt.source_overlaps(line, CACHELINE_SIZE):
+                self._park_source_write(pkt, line)
+            else:
+                self._accept_write(pkt)  # tracking resolved while waiting
+
+    # ============================================================ control
+    def _handle_control(self, pkt: Packet) -> None:
+        if pkt.ptype is PacketType.MCLAZY:
+            self._handle_mclazy(pkt)
+        elif pkt.ptype is PacketType.MCFREE:
+            self._mcfrees.inc()
+            self.ctt.free_hint(pkt.addr, pkt.size)
+            self._broadcast_update()
+            self._drain_ready_bpq_entries()
+            done = self.sim.now + params.BROADCAST_CYCLES
+            self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
+                                 label="mcfree-ack")
+        else:
+            super()._handle_control(pkt)
+
+    def _handle_mclazy(self, pkt: Packet, waited: int = 0) -> None:
+        """Insert a prospective copy, stalling while sources are parked
+        or the table is full."""
+        src = pkt.src_addr
+        assert src is not None
+        blocked = any(self.bpq.holds(line) or any(
+            peer.bpq.holds(line) for peer in self.peers)
+            for line in self._lines_of(src, pkt.size))
+        if blocked or not self._try_insert(pkt):
+            retry = 50
+            self._ctt_full_stalls.inc()
+            self._ctt_full_stall_cycles.inc(retry)
+            self.sim.schedule(retry,
+                              lambda: self._handle_mclazy(pkt, waited + retry),
+                              label="mclazy-retry")
+            return
+        self._broadcast_update()
+        done = self.sim.now + params.BROADCAST_CYCLES
+        self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
+                             label="mclazy-ack")
+        self._maybe_start_async_free(force=self.eager_async_copies)
+
+    def _try_insert(self, pkt: Packet) -> bool:
+        result = self.ctt.insert(pkt.addr, pkt.src_addr, pkt.size)
+        if not result.ok:
+            self._maybe_start_async_free(force=True)
+            return False
+        # Boundary lines with mixed sources are copied right away.
+        when = self.sim.now
+        for dest_line, pieces in result.eager_lines:
+            self._eager_boundary_lines.inc()
+            # The eager write lands in memory now, so any older copy
+            # still sourcing from this line must materialize first.
+            when = self._resolve_dependents_of(dest_line, when, set())
+            composed = bytearray(self.backing.read_line(dest_line))
+            for src_byte, offset, length in pieces:
+                composed[offset:offset + length] = \
+                    self.backing.read(src_byte, length)
+                owner = self._owner_of(src_byte)
+                loc = owner.address_map.decode(
+                    align_down(src_byte, CACHELINE_SIZE))
+                when = owner.channel.access(loc, when)
+            self.backing.write_line(dest_line, bytes(composed))
+            self.ctt.remove_dest_range(dest_line, CACHELINE_SIZE)
+            dest_owner = self._owner_of(dest_line)
+            when = dest_owner.channel.access(
+                dest_owner.address_map.decode(dest_line), when)
+        return True
+
+    def _resolve_dependents_of(self, line: int, when: int,
+                               visited: set) -> int:
+        """Synchronously materialize every tracked destination that still
+        draws bytes from ``line``, recursively, before ``line``'s memory
+        is overwritten.  Returns the updated timing cursor."""
+        if line in visited:
+            return when
+        visited.add(line)
+        for dep in self.ctt.dest_lines_for_source(line, CACHELINE_SIZE):
+            entry = self.ctt.lookup_dest_line(dep)
+            if entry is None:
+                continue
+            when = self._resolve_dependents_of(dep, when, visited)
+            src_start = entry.src_for_dst(dep)
+            data = self.backing.read(src_start, CACHELINE_SIZE)
+            for src_line in {align_down(src_start, CACHELINE_SIZE),
+                             align_down(src_start + CACHELINE_SIZE - 1,
+                                        CACHELINE_SIZE)}:
+                owner = self._owner_of(src_line)
+                when = owner.channel.access(
+                    owner.address_map.decode(src_line), when)
+            self.backing.write_line(dep, data)
+            self.ctt.remove_dest_range(dep, CACHELINE_SIZE)
+            self._src_write_copies.inc()
+            owner = self._owner_of(dep)
+            when = owner.channel.access(owner.address_map.decode(dep),
+                                        when)
+        self._drain_ready_bpq_entries()
+        return when
+
+    # ====================================================== async freeing
+    def _maybe_start_async_free(self, force: bool = False) -> None:
+        """Resolve smallest entries in the background past the threshold."""
+        while (self._async_inflight < self.parallel_frees
+               and (force or self.ctt.occupancy >= self.copy_threshold)
+               and len(self.ctt) > 0):
+            entry = self._pop_freeable()
+            if entry is None:
+                return
+            self._async_inflight += 1
+            self._resolve_entry_async(entry)
+            force = False
+
+    def _pop_freeable(self) -> Optional[CttEntry]:
+        """Smallest active entry whose destination is not a source."""
+        best: Optional[CttEntry] = None
+        for entry in self.ctt.entries:
+            if not entry.active:
+                continue
+            if self.ctt.source_overlaps(entry.dst, entry.size):
+                continue
+            if best is None or entry.size < best.size:
+                best = entry
+        if best is not None:
+            best.active = False
+        return best
+
+    def _resolve_entry_async(self, entry: CttEntry) -> None:
+        """Copy one claimed entry line by line in the background."""
+        lines = [entry.dst + off
+                 for off in range(0, entry.size, CACHELINE_SIZE)]
+        when = self.sim.now
+        remaining = {"n": len(lines)}
+
+        def _line_done() -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._async_inflight -= 1
+                self._async_frees.inc()
+                self._drain_ready_bpq_entries()
+                self._maybe_start_async_free()
+
+        for line in lines:
+            self._async_copied_lines.inc()
+            when = self._schedule_materialize(line, when, on_done=_line_done)
+
+    # ============================================================ helpers
+    def _owner_of(self, addr: int) -> "McSquareController":
+        channel = self.address_map.channel_of(addr)
+        if channel == self.channel_id:
+            return self
+        for peer in self.peers:
+            if peer.channel_id == channel:
+                return peer
+        return self  # single-controller configurations
+
+    def _broadcast_update(self) -> None:
+        self._broadcasts.inc(max(1, len(self.peers)))
+
+    @staticmethod
+    def _lines_of(addr: int, size: int) -> List[int]:
+        first = align_down(addr, CACHELINE_SIZE)
+        last = align_down(addr + size - 1, CACHELINE_SIZE)
+        return list(range(first, last + CACHELINE_SIZE, CACHELINE_SIZE))

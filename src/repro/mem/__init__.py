@@ -1,0 +1,5 @@
+"""Byte-accurate physical memory."""
+
+from repro.mem.backing_store import BackingStore
+
+__all__ = ["BackingStore"]

@@ -1,0 +1,100 @@
+"""Functional (data-carrying) physical memory.
+
+The simulator co-simulates *timing* and *function*: every physical address
+has real byte contents, so lazy copies can be checked for bit-exact
+equivalence with an eager ``memcpy`` oracle.  Storage is a sparse dict of
+cacheline-sized ``bytearray`` blocks; untouched memory reads as zeros.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import AddressError
+from repro.common.units import CACHELINE_SIZE, align_down
+
+
+class BackingStore:
+    """Sparse byte-accurate physical memory of a fixed capacity."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0 or capacity % CACHELINE_SIZE:
+            raise AddressError(f"capacity must be a positive multiple of "
+                               f"{CACHELINE_SIZE}, got {capacity}")
+        self.capacity = capacity
+        self._lines: Dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------ checking
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.capacity:
+            raise AddressError(
+                f"physical access [{addr:#x}, {addr + size:#x}) outside "
+                f"capacity {self.capacity:#x}"
+            )
+
+    # ------------------------------------------------------------- lines
+    def _line(self, line_addr: int) -> bytearray:
+        line = self._lines.get(line_addr)
+        if line is None:
+            line = bytearray(CACHELINE_SIZE)
+            self._lines[line_addr] = line
+        return line
+
+    def read_line(self, addr: int) -> bytes:
+        """Read the 64B cacheline containing ``addr``."""
+        base = align_down(addr, CACHELINE_SIZE)
+        self._check_range(base, CACHELINE_SIZE)
+        line = self._lines.get(base)
+        return bytes(line) if line is not None else bytes(CACHELINE_SIZE)
+
+    def write_line(self, addr: int, data: bytes) -> None:
+        """Overwrite the 64B cacheline containing ``addr``."""
+        base = align_down(addr, CACHELINE_SIZE)
+        self._check_range(base, CACHELINE_SIZE)
+        if len(data) != CACHELINE_SIZE:
+            raise AddressError(f"write_line needs {CACHELINE_SIZE}B, "
+                               f"got {len(data)}")
+        self._lines[base] = bytearray(data)
+
+    # ------------------------------------------------------------- bytes
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``addr`` (may span lines)."""
+        self._check_range(addr, size)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            cur = addr + pos
+            base = align_down(cur, CACHELINE_SIZE)
+            off = cur - base
+            take = min(CACHELINE_SIZE - off, size - pos)
+            line = self._lines.get(base)
+            if line is not None:
+                out[pos:pos + take] = line[off:off + take]
+            pos += take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr`` (may span lines)."""
+        size = len(data)
+        self._check_range(addr, size)
+        pos = 0
+        while pos < size:
+            cur = addr + pos
+            base = align_down(cur, CACHELINE_SIZE)
+            off = cur - base
+            take = min(CACHELINE_SIZE - off, size - pos)
+            self._line(base)[off:off + take] = data[pos:pos + take]
+            pos += take
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        """Eagerly move ``size`` bytes from ``src`` to ``dst`` (oracle op)."""
+        self.write(dst, self.read(src, size))
+
+    def fill(self, addr: int, size: int, value: int) -> None:
+        """Set ``size`` bytes at ``addr`` to ``value``."""
+        self.write(addr, bytes([value & 0xFF]) * size)
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of cachelines that have ever been written."""
+        return len(self._lines)

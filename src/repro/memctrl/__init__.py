@@ -1,0 +1,5 @@
+"""Baseline memory controller."""
+
+from repro.memctrl.controller import MemoryController
+
+__all__ = ["MemoryController"]

@@ -1,0 +1,208 @@
+"""Base memory controller.
+
+Marshals cacheline READ/WRITE packets onto one DRAM channel.  Reads are
+latency-critical: they traverse the controller, access the device, and fire
+the packet continuation when data returns.  Writes are *posted*: the sender
+is acknowledged after the controller's static latency while the actual
+drain to DRAM happens in the background through the write pending queue
+(WPQ).  Functional data is applied at arrival so that MC-observed order
+defines memory contents, matching the paper's consistency argument (§III-E).
+
+:class:`MemoryController` is the vanilla baseline; the (MC)² controller in
+:mod:`repro.mcsquare.controller` subclasses it and overrides the read/write
+hooks to add CTT and BPQ behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common import params
+from repro.dram.address_map import AddressMap
+from repro.dram.device import DramChannel
+from repro.mem.backing_store import BackingStore
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet, PacketType
+from repro.sim.stats import StatGroup
+
+
+class MemoryController:
+    """One memory controller driving one DRAM channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel_id: int,
+        address_map: AddressMap,
+        backing: BackingStore,
+        stats: StatGroup,
+        wpq_entries: int = params.MC_WPQ_ENTRIES,
+        rpq_entries: int = params.MC_RPQ_ENTRIES,
+    ):
+        self.sim = sim
+        self.channel_id = channel_id
+        self.address_map = address_map
+        self.backing = backing
+        self.stats = stats
+        self.channel = DramChannel(stats.group("dram"))
+        self.wpq_entries = wpq_entries
+        self.rpq_entries = rpq_entries
+        self._wpq: Deque[Packet] = deque()
+        self._wpq_overflow: Deque[Packet] = deque()
+        # addr -> count of buffered writes covering it (for forwarding).
+        self._pending_write_counts: Dict[int, int] = {}
+        self._wpq_draining = False
+        self._rpq_occupancy = 0
+
+        self._reads = stats.counter("reads", "read packets serviced")
+        self._writes = stats.counter("writes", "write packets accepted")
+        self._write_drains = stats.counter("write_drains", "WPQ entries drained")
+        self._wpq_rejects = stats.counter(
+            "wpq_rejects", "writes refused because the WPQ was too full")
+        self._read_latency = stats.distribution(
+            "read_latency", "cycles from MC arrival to data return",
+            keep_samples=False)
+
+    # ----------------------------------------------------------- interface
+    def receive(self, pkt: Packet) -> None:
+        """Accept a packet from the interconnect at the current cycle."""
+        pkt.issued_at = self.sim.now if pkt.issued_at is None else pkt.issued_at
+        if pkt.ptype is PacketType.READ:
+            self._handle_read(pkt)
+        elif pkt.ptype is PacketType.WRITE:
+            self._handle_write(pkt)
+        else:
+            self._handle_control(pkt)
+
+    @property
+    def wpq_occupancy(self) -> int:
+        """Writes currently buffered awaiting drain."""
+        return len(self._wpq)
+
+    @property
+    def wpq_fullness(self) -> float:
+        """WPQ occupancy as a fraction of capacity."""
+        return len(self._wpq) / self.wpq_entries
+
+    # -------------------------------------------------------------- hooks
+    def _handle_read(self, pkt: Packet) -> None:
+        """Service a read: device access, then complete with data."""
+        self._reads.inc()
+        self._service_read_from_memory(pkt)
+
+    def _handle_write(self, pkt: Packet) -> None:
+        """Accept a posted write into the WPQ."""
+        self._accept_write(pkt)
+
+    def _handle_control(self, pkt: Packet) -> None:
+        """Baseline controller ignores (MC)² control packets."""
+        self.sim.schedule(1, lambda: pkt.complete(self.sim.now),
+                          label="mc-control-ack")
+
+    # ---------------------------------------------------------- mechanics
+    def _service_read_from_memory(self, pkt: Packet,
+                                  extra_delay: int = 0) -> None:
+        """Run ``pkt`` through the DRAM channel and schedule completion."""
+        arrival = self.sim.now + params.MC_STATIC_LATENCY_CYCLES + extra_delay
+        # Forward from the WPQ when a buffered write covers this line.
+        if self._pending_write_counts.get(pkt.addr):
+            pkt.data = self.backing.read_line(pkt.addr)
+            done = arrival + 2  # WPQ CAM forward
+            self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
+                                 label="mc-wpq-forward")
+            self._read_latency.record(done - self.sim.now)
+            return
+        loc = self.address_map.decode(pkt.addr)
+        data_ready = self.channel.access(loc, arrival)
+        done = data_ready + params.MC_STATIC_LATENCY_CYCLES
+        pkt.data = self.backing.read_line(pkt.addr)
+        self._read_latency.record(done - self.sim.now)
+        self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
+                             label="mc-read-done")
+
+    def _accept_write(self, pkt: Packet) -> None:
+        """Post a write: apply data, ack the sender, queue the drain.
+
+        Functional data is applied at arrival (MC-observed order defines
+        memory contents); the *ack* is what back-pressure delays when the
+        WPQ is full.
+        """
+        self._writes.inc()
+        if pkt.data is not None:
+            self.backing.write_line(pkt.addr, pkt.data)
+        else:
+            pkt.data = self.backing.read_line(pkt.addr)
+        self._pending_write_counts[pkt.addr] = \
+            self._pending_write_counts.get(pkt.addr, 0) + 1
+        if len(self._wpq) < self.wpq_entries:
+            self._wpq.append(pkt)
+            ack_at = self.sim.now + params.MC_STATIC_LATENCY_CYCLES
+            self.sim.schedule_at(ack_at,
+                                 lambda: pkt.complete(self.sim.now),
+                                 label="mc-write-ack")
+        else:
+            # Full: the write waits outside; its ack is deferred, which
+            # back-pressures the sender.
+            self._wpq_rejects.inc()
+            self._wpq_overflow.append(pkt)
+        self._kick_wpq_drain()
+
+    def _retire_write(self, pkt: Packet) -> None:
+        """Bookkeeping when a buffered write leaves the WPQ."""
+        count = self._pending_write_counts.get(pkt.addr, 1) - 1
+        if count <= 0:
+            self._pending_write_counts.pop(pkt.addr, None)
+        else:
+            self._pending_write_counts[pkt.addr] = count
+        if self._wpq_overflow and len(self._wpq) < self.wpq_entries:
+            promoted = self._wpq_overflow.popleft()
+            self._wpq.append(promoted)
+            promoted.complete(self.sim.now)
+
+    # Write-drain hysteresis: start draining above the high watermark,
+    # stop below the low one.  Batching writes keeps them from closing
+    # the rows that in-flight reads are streaming out of (the standard
+    # read-priority / write-drain-mode controller policy).
+    WPQ_DRAIN_HIGH = 0.5
+    WPQ_DRAIN_LOW = 0.25
+
+    def _kick_wpq_drain(self) -> None:
+        if self._wpq_draining:
+            return
+        if len(self._wpq) < max(1, int(self.wpq_entries
+                                       * self.WPQ_DRAIN_HIGH)):
+            return
+        self._wpq_draining = True
+        self.sim.schedule(1, self._drain_one_write, label="mc-wpq-drain")
+
+    def _drain_one_write(self) -> None:
+        low = int(self.wpq_entries * self.WPQ_DRAIN_LOW)
+        if not self._wpq or (len(self._wpq) <= low
+                             and not self._wpq_overflow):
+            self._wpq_draining = False
+            return
+        pkt = self._wpq.popleft()
+        self._retire_write(pkt)
+        loc = self.address_map.decode(pkt.addr)
+        done = self.channel.access(loc, self.sim.now)
+        self._write_drains.inc()
+        self.sim.schedule_at(done, self._drain_one_write,
+                             label="mc-wpq-next")
+
+    def drain_wpq_fully(self) -> None:
+        """Flush every buffered write (used when quiescing the system)."""
+        while self._wpq or self._wpq_overflow:
+            pkt = self._wpq.popleft() if self._wpq \
+                else self._wpq_overflow.popleft()
+            self._retire_write(pkt)
+            if pkt.completed_at is None:
+                pkt.complete(self.sim.now)
+            loc = self.address_map.decode(pkt.addr)
+            self.channel.access(loc, self.sim.now)
+            self._write_drains.inc()
+
+    # ------------------------------------------------------------ helpers
+    def owns(self, addr: int) -> bool:
+        """True when this controller's channel owns ``addr``."""
+        return self.address_map.channel_of(addr) == self.channel_id

@@ -1,0 +1,7 @@
+"""Operating-system substrate: virtual memory, fork/COW, pipes."""
+
+from repro.os.pipes import Pipe
+from repro.os.vm import AddressSpace, CowFault, OperatingSystem, PageTableEntry
+
+__all__ = ["OperatingSystem", "AddressSpace", "PageTableEntry", "CowFault",
+           "Pipe"]

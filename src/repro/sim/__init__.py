@@ -1,0 +1,8 @@
+"""Discrete-event simulation core: engine, packets, statistics."""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.packet import Packet, PacketType
+from repro.sim.stats import Counter, Distribution, StatGroup
+
+__all__ = ["Simulator", "Event", "Packet", "PacketType", "StatGroup",
+           "Counter", "Distribution"]

@@ -1,0 +1,125 @@
+"""Discrete-event simulation engine.
+
+The whole memory system is simulated on a single logical clock measured in
+CPU cycles.  Components schedule callbacks on the :class:`Simulator`; the
+engine pops events in timestamp order (FIFO among equal timestamps) and
+invokes them.  This is deliberately minimal — deterministic, allocation
+light, and easy to reason about in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Event:
+    """A scheduled callback.  Cancellable; compare by (when, seq)."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, when: int, seq: int, callback: Callback, label: str = ""):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(when={self.when}, label={self.label!r}, {state})"
+
+
+class Simulator:
+    """Priority-queue event loop with a cycle-granularity clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self.now: int = 0
+        self._events_fired = 0
+
+    # ------------------------------------------------------------ schedule
+    def schedule(self, delay: int, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        event = Event(self.now + int(delay), next(self._seq), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, when: int, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute cycle ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule at {when}, now is {self.now}")
+        event = Event(int(when), next(self._seq), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ----------------------------------------------------------------- run
+    def run(self, until: Optional[int] = None, max_events: int = 200_000_000) -> int:
+        """Drain the event queue.
+
+        Runs until the queue is empty, or the clock would pass ``until``
+        (events at exactly ``until`` still fire).  Returns the final clock.
+        """
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if event.when < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = event.when
+            event.callback()
+            fired += 1
+            self._events_fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a livelock"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def step(self) -> bool:
+        """Fire the single next pending event.  Returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.when
+            event.callback()
+            self._events_fired += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed since construction."""
+        return self._events_fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now}, pending={self.pending})"

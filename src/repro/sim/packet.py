@@ -1,0 +1,105 @@
+"""Memory-system packets.
+
+A :class:`Packet` is the unit of communication between the caches, the
+interconnect, and the memory controllers.  Packets carry physical addresses
+at cacheline granularity plus (for the (MC)² control packets) the lazy-copy
+descriptor.  Completion is continuation-passing: the issuer attaches a
+callback which fires when the packet is done, at the completing component's
+simulated time.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Optional
+
+_packet_ids = itertools.count()
+
+
+class PacketType(enum.Enum):
+    """Kinds of traffic the memory system understands."""
+
+    READ = "read"                # fetch a cacheline
+    WRITE = "write"              # write back / store a cacheline
+    MCLAZY = "mclazy"            # register a prospective copy (broadcast)
+    MCFREE = "mcfree"            # drop CTT entries covered by a buffer
+    CTT_UPDATE = "ctt_update"    # inter-MC snoop keeping CTTs consistent
+
+
+class Packet:
+    """One memory-system transaction.
+
+    Attributes
+    ----------
+    ptype:
+        What kind of transaction this is.
+    addr:
+        Physical byte address (cacheline-aligned for READ/WRITE).
+    size:
+        Bytes covered.  64 for cacheline ops; arbitrary multiples of the
+        cacheline for MCLAZY / MCFREE descriptors.
+    src_addr:
+        For MCLAZY: physical address of the copy source buffer.
+    on_complete:
+        Continuation invoked once when the transaction finishes.
+    requestor:
+        Integer id of the issuing core (or -1 for hardware-generated
+        traffic such as prefetches, bounces and async CTT frees).
+    is_prefetch / is_bounce / is_async_copy:
+        Provenance flags used for statistics and scheduling priorities.
+    """
+
+    __slots__ = (
+        "id", "ptype", "addr", "size", "src_addr", "on_complete",
+        "requestor", "is_prefetch", "is_bounce", "is_async_copy",
+        "issued_at", "completed_at", "data",
+    )
+
+    def __init__(
+        self,
+        ptype: PacketType,
+        addr: int,
+        size: int = 64,
+        src_addr: Optional[int] = None,
+        on_complete: Optional[Callable[["Packet"], None]] = None,
+        requestor: int = -1,
+    ):
+        self.id = next(_packet_ids)
+        self.ptype = ptype
+        self.addr = addr
+        self.size = size
+        self.src_addr = src_addr
+        self.on_complete = on_complete
+        self.requestor = requestor
+        self.is_prefetch = False
+        self.is_bounce = False
+        self.is_async_copy = False
+        self.issued_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+        self.data: Optional[bytes] = None
+
+    def complete(self, now: int) -> None:
+        """Mark done at cycle ``now`` and fire the continuation once."""
+        self.completed_at = now
+        callback = self.on_complete
+        self.on_complete = None
+        if callback is not None:
+            callback(self)
+
+    @property
+    def is_read(self) -> bool:
+        """True for READ packets."""
+        return self.ptype is PacketType.READ
+
+    @property
+    def is_write(self) -> bool:
+        """True for WRITE packets."""
+        return self.ptype is PacketType.WRITE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = f", src={self.src_addr:#x}" if self.src_addr is not None else ""
+        return (
+            f"Packet#{self.id}({self.ptype.value}, addr={self.addr:#x}, "
+            f"size={self.size}{extra})"
+        )

@@ -1,0 +1,155 @@
+"""Statistics registry.
+
+Components register named scalar counters, distributions, and formulas on a
+shared :class:`StatGroup` tree.  The analysis layer reads these to build the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically accumulating scalar statistic."""
+
+    __slots__ = ("name", "desc", "value")
+
+    def __init__(self, name: str, desc: str = ""):
+        self.name = name
+        self.desc = desc
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` to the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Distribution:
+    """A streaming distribution: count/sum/min/max plus retained samples."""
+
+    __slots__ = ("name", "desc", "count", "total", "min", "max", "samples",
+                 "keep_samples")
+
+    def __init__(self, name: str, desc: str = "", keep_samples: bool = True):
+        self.name = name
+        self.desc = desc
+        self.keep_samples = keep_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile over retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, int(math.ceil(pct / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        """Discard all observations."""
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Distribution({self.name}: n={self.count}, mean={self.mean:.1f})"
+
+
+class StatGroup:
+    """A named collection of statistics, nestable into a tree."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counters: Dict[str, Counter] = {}
+        self.distributions: Dict[str, Distribution] = {}
+        self.children: Dict[str, "StatGroup"] = {}
+
+    def counter(self, name: str, desc: str = "") -> Counter:
+        """Get or create a counter named ``name``."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name, desc)
+        return self.counters[name]
+
+    def distribution(self, name: str, desc: str = "",
+                     keep_samples: bool = True) -> Distribution:
+        """Get or create a distribution named ``name``."""
+        if name not in self.distributions:
+            self.distributions[name] = Distribution(name, desc, keep_samples)
+        return self.distributions[name]
+
+    def group(self, name: str) -> "StatGroup":
+        """Get or create a child group."""
+        if name not in self.children:
+            self.children[name] = StatGroup(name)
+        return self.children[name]
+
+    def reset(self) -> None:
+        """Reset every stat in this group and all children."""
+        for c in self.counters.values():
+            c.reset()
+        for d in self.distributions.values():
+            d.reset()
+        for g in self.children.values():
+            g.reset()
+
+    def get(self, path: str) -> float:
+        """Read a counter value by dotted path, e.g. ``'l1.hits'``."""
+        group: StatGroup = self
+        parts = path.split(".")
+        for part in parts[:-1]:
+            group = group.children[part]
+        return group.counters[parts[-1]].value
+
+    def flatten(self, prefix: str = "") -> Dict[str, float]:
+        """All counter values keyed by dotted path."""
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[prefix + name] = c.value
+        for name, g in self.children.items():
+            out.update(g.flatten(prefix + name + "."))
+        return out
+
+    def report(self, indent: int = 0) -> str:
+        """Human-readable multi-line dump of the stat tree."""
+        pad = "  " * indent
+        lines = [f"{pad}[{self.name}]"]
+        for c in sorted(self.counters.values(), key=lambda x: x.name):
+            lines.append(f"{pad}  {c.name:<32} {c.value:>14.0f}  {c.desc}")
+        for d in sorted(self.distributions.values(), key=lambda x: x.name):
+            lines.append(
+                f"{pad}  {d.name:<32} n={d.count} mean={d.mean:.1f} "
+                f"min={d.min if d.count else 0:.0f} max={d.max if d.count else 0:.0f}"
+            )
+        for g in sorted(self.children.values(), key=lambda x: x.name):
+            lines.append(g.report(indent + 1))
+        return "\n".join(lines)

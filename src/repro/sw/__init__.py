@@ -1,0 +1,11 @@
+"""Software layer: memcpy variants, wrapper, interposer, engines."""
+
+from repro.sw.allocator import FreeListAllocator
+from repro.sw.engine import (CopyEngine, EagerEngine, KernelEagerEngine,
+                             LazyEngine)
+from repro.sw.memcpy import (interposed_memcpy_ops, memcpy_lazy_ops,
+                             memcpy_ops, stream_read_ops, touch_ops)
+
+__all__ = ["CopyEngine", "EagerEngine", "KernelEagerEngine", "LazyEngine",
+           "FreeListAllocator", "memcpy_ops", "memcpy_lazy_ops",
+           "interposed_memcpy_ops", "touch_ops", "stream_read_ops"]

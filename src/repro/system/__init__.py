@@ -1,0 +1,6 @@
+"""Top-level simulated machine and configuration presets."""
+
+from repro.system.config import BASELINE, TABLE1, SystemConfig, small_system
+from repro.system.system import System
+
+__all__ = ["System", "SystemConfig", "TABLE1", "BASELINE", "small_system"]

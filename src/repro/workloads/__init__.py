@@ -1,0 +1,4 @@
+"""Paper workloads: microbenchmarks and application models."""
+
+__all__ = ["common", "protobuf", "mongo", "mvcc", "hugepage", "pipe",
+           "micro"]

@@ -1,0 +1,3 @@
+"""Microbenchmarks for Figures 10-13 and 21."""
+
+__all__ = ["latency", "access", "srcwrite"]

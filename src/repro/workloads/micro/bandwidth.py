@@ -1,0 +1,85 @@
+"""STREAM-style bandwidth calibration microbenchmarks.
+
+Not a paper figure: these measure the simulated machine's raw memory
+throughput so the calibration in :mod:`repro.common.params` can be
+sanity-checked (the DDR4-2400 × 2-channel configuration peaks at
+~38 GB/s of raw bus bandwidth; a single core with bounded MLP achieves
+a fraction of that, as on real hardware).
+
+Used by tests and available to users studying how the machine's
+bandwidth envelope shapes the (MC)² results (Figs. 16b/17b/22 are
+bandwidth-bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import System, SystemConfig
+from repro.common.units import CACHELINE_SIZE, MB
+from repro.isa import ops
+from repro.workloads.common import LatencyRecorder, fill_pattern
+
+
+def measure_read_bandwidth(size: int = 2 * MB, num_cores: int = 1,
+                           config: Optional[SystemConfig] = None
+                           ) -> Dict[str, float]:
+    """Sequential read throughput in GB/s (one stream per core)."""
+    config = config or SystemConfig(mcsquare_enabled=False)
+    system = System(config)
+    recorders = []
+    programs = {}
+    per_core = size // num_cores
+
+    for core in range(num_cores):
+        base = system.alloc(per_core + 4096, align=4096)
+        fill_pattern(system, base, per_core)
+        rec = LatencyRecorder()
+        recorders.append(rec)
+
+        def program(base=base, rec=rec):
+            yield rec.begin()
+            pos = base
+            while pos < base + per_core:
+                yield ops.load(pos, 8)
+                pos += CACHELINE_SIZE
+            yield rec.end()
+
+        programs[core] = program()
+
+    system.run_programs(programs)
+    cycles = max(rec.samples[0] for rec in recorders)
+    seconds = cycles / (config.clock_ghz * 1e9)
+    return {
+        "bytes": size,
+        "cycles": cycles,
+        "gb_per_sec": size / seconds / 1e9,
+    }
+
+
+def measure_copy_bandwidth(size: int = 1 * MB,
+                           config: Optional[SystemConfig] = None
+                           ) -> Dict[str, float]:
+    """Single-core eager memcpy throughput in GB/s."""
+    from repro.sw.memcpy import memcpy_ops
+
+    config = config or SystemConfig(mcsquare_enabled=False)
+    system = System(config)
+    src = system.alloc(size + 4096, align=4096)
+    dst = system.alloc(size + 4096, align=4096)
+    fill_pattern(system, src, size)
+    rec = LatencyRecorder()
+
+    def program():
+        yield rec.begin()
+        yield from memcpy_ops(system, dst, src, size)
+        yield rec.end()
+
+    system.run_program(program())
+    cycles = rec.samples[0]
+    seconds = cycles / (config.clock_ghz * 1e9)
+    return {
+        "bytes": size,
+        "cycles": cycles,
+        "gb_per_sec": size / seconds / 1e9,
+    }

@@ -1,0 +1,62 @@
+"""Microbenchmark: writing to lazily-copied source buffers (Fig. 21).
+
+Lazily copies a source buffer to a destination, overwrites the source,
+flushes the stores with CLWB, and fences — putting the BPQ directly on
+the critical path.  Each flushed source line parks in the BPQ while its
+destination line materializes, so the BPQ size bounds how many such
+writes proceed in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import System, SystemConfig
+from repro.common.units import CACHELINE_SIZE, KB
+from repro.isa import ops
+from repro.sw.memcpy import memcpy_lazy_ops
+from repro.workloads.common import LatencyRecorder, fill_pattern
+
+
+def run_source_write(buffer_size: int, bpq_entries: int,
+                     config: Optional[SystemConfig] = None
+                     ) -> Dict[str, float]:
+    """Runtime (cycles) of overwrite+flush+fence on a lazy-copied source."""
+    config = (config or SystemConfig()).with_overrides(
+        bpq_entries=bpq_entries)
+    system = System(config)
+    src = system.alloc(buffer_size, align=4096)
+    dst = system.alloc(buffer_size, align=4096)
+    fill_pattern(system, src, buffer_size)
+    recorder = LatencyRecorder()
+
+    def program():
+        yield from memcpy_lazy_ops(system, dst, src, buffer_size)
+        yield recorder.begin()
+        for line in range(src, src + buffer_size, CACHELINE_SIZE):
+            yield ops.store(line, 64, data=b"\x5A" * 64)
+        for line in range(src, src + buffer_size, CACHELINE_SIZE):
+            yield ops.clwb(line)
+        yield ops.mfence()
+        yield recorder.end()
+
+    system.run_program(program())
+    system.drain()
+    return {"cycles": recorder.samples[0], "buffer_size": buffer_size,
+            "bpq_entries": bpq_entries}
+
+
+def sweep_bpq(buffer_sizes=(16 * KB, 64 * KB, 256 * KB),
+              bpq_sizes=(1, 2, 4, 8, 16),
+              config: Optional[SystemConfig] = None
+              ) -> List[Dict[str, float]]:
+    """Fig. 21 rows: runtime normalized to the 1-entry BPQ per size."""
+    rows: List[Dict[str, float]] = []
+    for size in buffer_sizes:
+        base: Optional[float] = None
+        for entries in bpq_sizes:
+            result = run_source_write(size, entries, config=config)
+            if base is None:
+                base = result["cycles"]
+            rows.append({**result, "normalized": result["cycles"] / base})
+    return rows

@@ -1,0 +1,5 @@
+"""zIO baseline: page-granularity copy elision with copy-on-access."""
+
+from repro.zio.engine import ZioEngine
+
+__all__ = ["ZioEngine"]

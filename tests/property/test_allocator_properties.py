@@ -1,0 +1,67 @@
+"""Property-based tests for the free-list allocator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import System, small_system
+from repro.sw.allocator import FreeListAllocator
+
+CAPACITY = 64 * 1024
+
+
+@st.composite
+def alloc_scripts(draw):
+    """A sequence of malloc sizes and free indices."""
+    steps = []
+    for _ in range(draw(st.integers(1, 40))):
+        if draw(st.booleans()):
+            steps.append(("malloc", draw(st.integers(1, 4096))))
+        else:
+            steps.append(("free", draw(st.integers(0, 63))))
+    return steps
+
+
+@settings(max_examples=100, deadline=None)
+@given(alloc_scripts())
+def test_allocator_invariants_hold_under_churn(steps):
+    system = System(small_system())
+    alloc = FreeListAllocator(system, CAPACITY)
+    live = []
+    for step in steps:
+        if step[0] == "malloc":
+            try:
+                live.append((alloc.malloc(step[1]), step[1]))
+            except Exception:
+                pass  # out of memory is a legal outcome
+        elif live:
+            addr, _ = live.pop(step[1] % len(live))
+            alloc.free(addr)
+        alloc.check_invariants()
+
+    # Live blocks never overlap each other.
+    spans = sorted((a, a + ((s + 63) // 64) * 64) for a, s in live)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+    # Freeing everything restores the full arena.
+    for addr, _ in live:
+        alloc.free(addr)
+    alloc.check_invariants()
+    assert alloc.free_bytes == CAPACITY
+    assert len(alloc._free) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(1, 2048), min_size=1, max_size=30))
+def test_allocation_addresses_unique_and_inside_arena(sizes):
+    system = System(small_system())
+    alloc = FreeListAllocator(system, CAPACITY)
+    seen = set()
+    for size in sizes:
+        try:
+            addr = alloc.malloc(size)
+        except Exception:
+            break
+        assert addr not in seen
+        seen.add(addr)
+        assert alloc.base <= addr < alloc.base + CAPACITY
+        assert addr + size <= alloc.base + CAPACITY

@@ -1,0 +1,106 @@
+"""Unit tests for the free-list allocator."""
+
+import pytest
+
+from repro import System, small_system
+from repro.common.errors import SimulationError
+from repro.sw.allocator import FreeListAllocator
+
+
+@pytest.fixture
+def rig():
+    system = System(small_system())
+    return system, FreeListAllocator(system, 64 * 1024)
+
+
+class TestMallocFree:
+    def test_simple_roundtrip(self, rig):
+        system, alloc = rig
+        a = alloc.malloc(1000)
+        assert alloc.owns(a)
+        assert alloc.owns(a + 999)
+        alloc.free(a)
+        assert not alloc.owns(a)
+        alloc.check_invariants()
+
+    def test_allocations_disjoint(self, rig):
+        system, alloc = rig
+        blocks = [alloc.malloc(500) for _ in range(10)]
+        spans = sorted((b, b + 512) for b in blocks)  # aligned to 64
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        alloc.check_invariants()
+
+    def test_alignment(self, rig):
+        system, alloc = rig
+        for _ in range(5):
+            assert alloc.malloc(17) % 64 == 0
+
+    def test_free_coalesces(self, rig):
+        system, alloc = rig
+        blocks = [alloc.malloc(8 * 1024) for _ in range(8)]
+        for b in blocks:
+            alloc.free(b)
+        alloc.check_invariants()
+        # After freeing everything the arena is one range again.
+        assert len(alloc._free) == 1
+        assert alloc.free_bytes == alloc.capacity
+
+    def test_reuse_after_free(self, rig):
+        system, alloc = rig
+        a = alloc.malloc(32 * 1024)
+        b = alloc.malloc(32 * 1024)
+        with pytest.raises(SimulationError):
+            alloc.malloc(64)          # full
+        alloc.free(a)
+        c = alloc.malloc(16 * 1024)   # fits in the hole
+        assert alloc.owns(c)
+        alloc.check_invariants()
+
+    def test_double_free_rejected(self, rig):
+        system, alloc = rig
+        a = alloc.malloc(100)
+        alloc.free(a)
+        with pytest.raises(SimulationError):
+            alloc.free(a)
+
+    def test_zero_size_rejected(self, rig):
+        system, alloc = rig
+        with pytest.raises(SimulationError):
+            alloc.malloc(0)
+
+    def test_stats(self, rig):
+        system, alloc = rig
+        a = alloc.malloc(100)
+        alloc.free(a)
+        assert alloc.allocations == 1
+        assert alloc.frees == 1
+
+
+class TestMcfreeIntegration:
+    def test_free_ops_issues_mcfree_and_drops_tracking(self):
+        from repro.sw.memcpy import memcpy_lazy_ops
+
+        system = System(small_system())
+        alloc = FreeListAllocator(system, 64 * 1024)
+        src = alloc.malloc(4096)
+        dst = alloc.malloc(4096)
+
+        def prog():
+            yield from memcpy_lazy_ops(system, dst, src, 4096)
+            yield from alloc.free_ops(dst)
+            from repro.isa import ops
+            yield ops.mfence()
+
+        system.run_program(prog())
+        system.drain()
+        assert system.ctt.lookup_dest_line(dst) is None
+        assert not alloc.owns(dst)
+
+    def test_free_ops_without_mcfree_on_baseline(self):
+        system = System(small_system(mcsquare_enabled=False))
+        alloc = FreeListAllocator(system, 64 * 1024)
+        a = alloc.malloc(4096)
+        ops_list = list(alloc.free_ops(a))
+        from repro.isa.ops import OpKind
+        assert not any(o.kind is OpKind.MCFREE for o in ops_list)

@@ -1,0 +1,88 @@
+"""Unit tests for the byte-accurate backing store."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.mem.backing_store import BackingStore
+
+
+@pytest.fixture
+def store():
+    return BackingStore(1 << 20)  # 1 MiB
+
+
+class TestConstruction:
+    def test_rejects_non_line_multiple(self):
+        with pytest.raises(AddressError):
+            BackingStore(100)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(AddressError):
+            BackingStore(0)
+
+
+class TestLineAccess:
+    def test_untouched_memory_reads_zero(self, store):
+        assert store.read_line(0) == bytes(64)
+
+    def test_write_then_read_line(self, store):
+        data = bytes(range(64))
+        store.write_line(128, data)
+        assert store.read_line(128) == data
+
+    def test_read_line_uses_containing_line(self, store):
+        data = bytes(range(64))
+        store.write_line(128, data)
+        assert store.read_line(150) == data
+
+    def test_write_line_requires_64_bytes(self, store):
+        with pytest.raises(AddressError):
+            store.write_line(0, b"short")
+
+    def test_out_of_range_rejected(self, store):
+        with pytest.raises(AddressError):
+            store.read_line(1 << 21)
+
+
+class TestByteAccess:
+    def test_spanning_write_and_read(self, store):
+        data = bytes(i & 0xFF for i in range(200))
+        store.write(60, data)  # spans 4 lines
+        assert store.read(60, 200) == data
+
+    def test_partial_line_write_preserves_rest(self, store):
+        store.write_line(0, b"\xAA" * 64)
+        store.write(10, b"\xBB" * 4)
+        line = store.read_line(0)
+        assert line[:10] == b"\xAA" * 10
+        assert line[10:14] == b"\xBB" * 4
+        assert line[14:] == b"\xAA" * 50
+
+    def test_copy_is_eager_oracle(self, store):
+        payload = bytes((i * 7) & 0xFF for i in range(300))
+        store.write(1000, payload)
+        store.copy(5000, 1000, 300)
+        assert store.read(5000, 300) == payload
+
+    def test_copy_misaligned(self, store):
+        payload = bytes((i * 13) & 0xFF for i in range(150))
+        store.write(101, payload)
+        store.copy(507, 101, 150)
+        assert store.read(507, 150) == payload
+
+    def test_fill(self, store):
+        store.fill(100, 300, 0xCD)
+        assert store.read(100, 300) == b"\xCD" * 300
+
+    def test_negative_size_rejected(self, store):
+        with pytest.raises(AddressError):
+            store.read(0, -1)
+
+
+class TestResidency:
+    def test_resident_lines_counts_written_lines(self, store):
+        assert store.resident_lines == 0
+        store.write(0, b"x")
+        store.write(64, b"y")
+        store.write(70, b"z")
+        assert store.resident_lines == 2

@@ -1,0 +1,77 @@
+"""Unit tests for the Bounce Pending Queue."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.mcsquare.bpq import BouncePendingQueue
+from repro.sim.packet import Packet, PacketType
+from repro.sim.stats import StatGroup
+
+
+def wpkt(addr):
+    p = Packet(PacketType.WRITE, addr, 64)
+    p.data = b"\x11" * 64
+    return p
+
+
+@pytest.fixture
+def bpq():
+    return BouncePendingQueue(capacity=2, stats=StatGroup("bpq"))
+
+
+class TestPark:
+    def test_park_and_lookup(self, bpq):
+        entry = bpq.park(0x1000, b"\xAA" * 64, wpkt(0x1000), now=5)
+        assert bpq.holds(0x1000)
+        assert bpq.holds(0x1020)          # any offset within the line
+        assert not bpq.holds(0x1040)
+        assert bpq.get(0x1000) is entry
+        assert entry.parked_at == 5
+
+    def test_duplicate_park_rejected(self, bpq):
+        bpq.park(0x1000, b"\xAA" * 64, wpkt(0x1000), now=0)
+        with pytest.raises(SimulationError):
+            bpq.park(0x1000, b"\xBB" * 64, wpkt(0x1000), now=1)
+
+    def test_full_park_rejected(self, bpq):
+        bpq.park(0x1000, b"\xAA" * 64, wpkt(0x1000), now=0)
+        bpq.park(0x2000, b"\xAA" * 64, wpkt(0x2000), now=0)
+        assert bpq.full
+        with pytest.raises(SimulationError):
+            bpq.park(0x3000, b"\xAA" * 64, wpkt(0x3000), now=0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            BouncePendingQueue(capacity=0)
+
+
+class TestMergeRelease:
+    def test_merge_takes_newest_data(self, bpq):
+        bpq.park(0x1000, b"\xAA" * 64, wpkt(0x1000), now=0)
+        entry = bpq.merge(0x1000, b"\xBB" * 64, wpkt(0x1000))
+        assert bytes(entry.data) == b"\xBB" * 64
+        assert len(entry.packets) == 2
+
+    def test_release_frees_slot(self, bpq):
+        bpq.park(0x1000, b"\xAA" * 64, wpkt(0x1000), now=0)
+        entry = bpq.release(0x1000)
+        assert not bpq.holds(0x1000)
+        assert len(bpq) == 0
+        assert bytes(entry.data) == b"\xAA" * 64
+
+    def test_stats_tracked(self, bpq):
+        bpq.park(0x1000, b"\xAA" * 64, wpkt(0x1000), now=0)
+        bpq.merge(0x1000, b"\xBB" * 64, wpkt(0x1000))
+        bpq.release(0x1000)
+        bpq.record_full_stall()
+        c = bpq.stats.counters
+        assert c["parked"].value == 1
+        assert c["merged"].value == 1
+        assert c["drained"].value == 1
+        assert c["full_stalls"].value == 1
+        assert c["peak_occupancy"].value == 1
+
+    def test_entries_snapshot(self, bpq):
+        bpq.park(0x1000, b"\xAA" * 64, wpkt(0x1000), now=0)
+        bpq.park(0x2000, b"\xBB" * 64, wpkt(0x2000), now=0)
+        assert {e.line for e in bpq.entries()} == {0x1000, 0x2000}

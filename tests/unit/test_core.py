@@ -1,0 +1,181 @@
+"""Unit tests for the CPU core model (issue, window, fences, blocking)."""
+
+import pytest
+
+from repro import System, small_system
+from repro.common import params
+from repro.isa import ops
+
+
+def build():
+    return System(small_system())
+
+
+class TestBasicExecution:
+    def test_compute_program_finishes(self):
+        system = build()
+        def prog():
+            yield ops.compute(100)
+            yield ops.compute(50)
+        t = system.run_program(prog())
+        assert t >= 150
+
+    def test_loads_return_memory_data(self):
+        system = build()
+        addr = system.alloc(64)
+        system.backing.write(addr, b"\xDE\xAD\xBE\xEF" + bytes(60))
+        seen = {}
+        def prog():
+            op = ops.load(addr, 4, blocking=True)
+            value = yield op
+            seen["v"] = value
+        system.run_program(prog())
+        assert seen["v"] == b"\xDE\xAD\xBE\xEF"
+
+    def test_store_then_load_same_line(self):
+        system = build()
+        addr = system.alloc(64)
+        seen = {}
+        def prog():
+            yield ops.store(addr, 8, data=b"ABCDEFGH")
+            value = yield ops.load(addr, 8, blocking=True)
+            seen["v"] = value
+        system.run_program(prog())
+        assert seen["v"] == b"ABCDEFGH"
+
+    def test_idle_after_finish(self):
+        system = build()
+        def prog():
+            yield ops.compute(10)
+        system.run_program(prog())
+        assert system.cores[0].idle
+
+    def test_busy_core_rejects_second_program(self):
+        system = build()
+        core = system.cores[0]
+        def prog():
+            yield ops.compute(10)
+        core.run_program(prog())
+        with pytest.raises(RuntimeError):
+            core.run_program(prog())
+        system.sim.run()
+
+
+class TestParallelismLimits:
+    def test_independent_loads_overlap(self):
+        """N independent uncached loads finish much faster than N x RT."""
+        system = build()
+        base = system.alloc(64 * 64)
+        def prog():
+            for i in range(8):
+                yield ops.load(base + i * 2 * 64, 8)
+        t = system.run_program(prog())
+        one_rt = 300  # approx uncached round trip in cycles
+        assert t < 8 * one_rt * 0.7
+
+    def test_blocking_loads_serialize(self):
+        # Irregular (unprefetchable) offsets, one load per line.
+        offsets = [0, 13, 3, 30, 7, 22, 17, 9]
+
+        def run(blocking):
+            system = System(small_system(prefetch_enabled=False))
+            base = system.alloc(64 * 64)
+            def prog():
+                for off in offsets:
+                    yield ops.load(base + off * 64, 8, blocking=blocking)
+            return system.run_program(prog())
+
+        t_ind = run(False)
+        t_chain = run(True)
+        assert t_chain > t_ind * 1.5
+
+    def test_retirement_in_order(self):
+        system = build()
+        addr = system.alloc(4096)
+        order = []
+        def prog():
+            # A slow uncached load then a fast compute: compute retires
+            # after the load despite completing first.
+            yield ops.load(addr, 8,
+                           on_retire=lambda op, t: order.append("load"))
+            yield ops.compute(1,)
+            yield ops.store(addr + 64, 8,
+                            on_retire=lambda op, t: order.append("store"))
+        system.run_program(prog())
+        assert order == ["load", "store"]
+
+
+class TestFences:
+    def test_mfence_orders_clwb(self):
+        """Fence completion waits for the CLWB writeback to be accepted."""
+        system = build()
+        addr = system.alloc(64)
+        def no_fence():
+            yield ops.store(addr, 8, data=b"x" * 8)
+            yield ops.clwb(addr)
+        def with_fence():
+            yield ops.store(addr, 8, data=b"x" * 8)
+            yield ops.clwb(addr)
+            yield ops.mfence()
+        t1 = System(small_system()).run_program(no_fence()) if False else None
+        sys_a = System(small_system())
+        a = sys_a.alloc(64)
+        def prog_a():
+            yield ops.store(a, 8, data=b"x" * 8)
+            yield ops.clwb(a)
+        t_no = sys_a.run_program(prog_a())
+        sys_b = System(small_system())
+        b = sys_b.alloc(64)
+        def prog_b():
+            yield ops.store(b, 8, data=b"x" * 8)
+            yield ops.clwb(b)
+            yield ops.mfence()
+        t_yes = sys_b.run_program(prog_b())
+        assert t_yes >= t_no
+
+    def test_fence_blocks_younger_ops(self):
+        system = build()
+        addr = system.alloc(4096)
+        times = {}
+        def prog():
+            yield ops.load(addr, 8,
+                           on_retire=lambda op, t: times.__setitem__("l", t))
+            yield ops.mfence()
+            yield ops.compute(1)
+            yield ops.store(addr + 128, 8,
+                            on_retire=lambda op, t: times.__setitem__("s", t))
+        system.run_program(prog())
+        assert times["s"] >= times["l"] + params.MFENCE_CYCLES
+
+
+class TestStats:
+    def test_mem_miss_cycles_accumulate(self):
+        system = build()
+        addr = system.alloc(4096)
+        def prog():
+            for i in range(4):
+                yield ops.load(addr + i * 128, 8)
+        system.run_program(prog())
+        assert system.cores[0].mem_miss_cycles.value > 0
+
+    def test_ops_retired_counted(self):
+        system = build()
+        def prog():
+            for _ in range(5):
+                yield ops.compute(1)
+        system.run_program(prog())
+        assert system.cores[0].ops_retired.value == 5
+
+
+class TestNtStore:
+    def test_nt_store_bypasses_cache(self):
+        system = build()
+        addr = system.alloc(64)
+        def prog():
+            yield ops.nt_store(addr, 64, data=b"\x3C" * 64)
+            yield ops.mfence()
+        system.run_program(prog())
+        system.drain()
+        # Data in memory, not in any cache.
+        assert system.backing.read_line(addr) == b"\x3C" * 64
+        assert system.hierarchy.read_functional(addr, 8) is None

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_fifo_among_equal_timestamps(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(10, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(42, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [42]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(5, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == [("outer", 10), ("inner", 15)]
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+
+class TestRunUntil:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run(until=50)
+        assert fired == [10]
+        assert sim.now == 50
+        sim.run()
+        assert fired == [10, 100]
+
+    def test_until_includes_exact_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50, lambda: fired.append(50))
+        sim.run(until=50)
+        assert fired == [50]
+
+    def test_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=123)
+        assert sim.now == 123
+
+
+class TestStep:
+    def test_step_fires_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append("a"))
+        sim.schedule(2, lambda: fired.append("b"))
+        assert sim.step()
+        assert fired == ["a"]
+        assert sim.step()
+        assert fired == ["a", "b"]
+        assert not sim.step()
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        event = sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestLivelockGuard:
+    def test_max_events_raises(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)

@@ -1,0 +1,137 @@
+"""Tests for the paper's proposed extensions (§V-A1, §VI).
+
+* ``CLWB_RANGE`` — the wider writeback operation §V-A1 suggests to cut
+  the per-line CLWB train that dominates ``memcpy_lazy`` above 1KB.
+* ``eager_async_copies`` — §VI's copy-engine pairing: entries start
+  resolving in the background right after insertion.
+"""
+
+import pytest
+
+from repro import System, small_system
+from repro.common.units import KB
+from repro.isa import ops
+from repro.sw.memcpy import memcpy_lazy_ops
+
+CL = 64
+
+
+class TestClwbRange:
+    def test_flushes_only_dirty_lines(self):
+        system = System(small_system())
+        base = system.alloc(8 * CL, align=4096)
+
+        def prog():
+            yield ops.store(base, 8, data=b"DIRTY-0!")
+            yield ops.store(base + 4 * CL, 8, data=b"DIRTY-4!")
+            yield ops.clwb_range(base, 8 * CL)
+            yield ops.mfence()
+
+        system.run_program(prog())
+        assert system.backing.read(base, 8) == b"DIRTY-0!"
+        assert system.backing.read(base + 4 * CL, 8) == b"DIRTY-4!"
+        # Lines stay resident and clean.
+        line = system.hierarchy.l1s[0].lookup(base, 0, touch=False)
+        assert line is not None and not line.dirty
+
+    def test_clean_range_is_cheap(self):
+        def run(wide):
+            system = System(small_system())
+            base = system.alloc(64 * KB, align=4096)
+
+            def prog():
+                if wide:
+                    yield ops.clwb_range(base, 64 * KB)
+                else:
+                    for off in range(0, 64 * KB, CL):
+                        yield ops.clwb(base + off)
+                yield ops.mfence()
+
+            return system.run_program(prog())
+
+        assert run(wide=True) < run(wide=False) / 4
+
+    def test_equivalent_data_effects(self):
+        """CLWB train and CLWB_RANGE leave identical memory."""
+        results = []
+        for wide in (False, True):
+            system = System(small_system())
+            base = system.alloc(4 * KB, align=4096)
+
+            def prog():
+                for off in range(0, 4 * KB, CL):
+                    yield ops.store(base + off, 8,
+                                    data=off.to_bytes(8, "little"))
+                if wide:
+                    yield ops.clwb_range(base, 4 * KB)
+                else:
+                    for off in range(0, 4 * KB, CL):
+                        yield ops.clwb(base + off)
+                yield ops.mfence()
+
+            system.run_program(prog())
+            results.append(system.backing.read(base, 4 * KB))
+        assert results[0] == results[1]
+
+    def test_wide_writeback_wrapper_correct(self):
+        system = System(small_system())
+        src = system.alloc(8 * KB, align=4096)
+        dst = system.alloc(8 * KB, align=4096)
+        system.backing.fill(src, 8 * KB, 0x6B)
+        system.run_program(memcpy_lazy_ops(system, dst, src, 8 * KB,
+                                           wide_writeback=True))
+        system.drain()
+        assert system.read_memory(dst, 8 * KB) == b"\x6B" * 8 * KB
+
+    def test_wide_writeback_cheaper_for_large_copies(self):
+        def run(wide):
+            system = System(small_system())
+            src = system.alloc(64 * KB, align=4096)
+            dst = system.alloc(64 * KB, align=4096)
+            return system.run_program(
+                memcpy_lazy_ops(system, dst, src, 64 * KB,
+                                wide_writeback=wide))
+
+        assert run(True) < run(False)
+
+
+class TestEagerAsyncCopies:
+    def test_entries_resolve_without_threshold(self):
+        system = System(small_system(eager_async_copies=True))
+        src = system.alloc(8 * KB, align=4096)
+        dst = system.alloc(8 * KB, align=4096)
+        system.backing.fill(src, 8 * KB, 0x2D)
+        system.run_program(memcpy_lazy_ops(system, dst, src, 8 * KB))
+        system.drain()
+        # The copy engine resolved the entry in the background: data is
+        # physically in the destination and the table is empty.
+        assert len(system.ctt) == 0
+        assert system.backing.read(dst, 8 * KB) == b"\x2D" * 8 * KB
+
+    def test_without_engine_entries_stay(self):
+        system = System(small_system(eager_async_copies=False))
+        src = system.alloc(8 * KB, align=4096)
+        dst = system.alloc(8 * KB, align=4096)
+        system.run_program(memcpy_lazy_ops(system, dst, src, 8 * KB))
+        system.drain()
+        assert len(system.ctt) > 0  # below threshold: nothing resolves
+
+    def test_data_correct_under_source_overwrite(self):
+        """Racing the engine with source writes must stay consistent."""
+        system = System(small_system(eager_async_copies=True))
+        src = system.alloc(4 * KB, align=4096)
+        dst = system.alloc(4 * KB, align=4096)
+        system.backing.fill(src, 4 * KB, 0x11)
+
+        def prog():
+            yield from memcpy_lazy_ops(system, dst, src, 4 * KB)
+            for off in range(0, 4 * KB, CL):
+                yield ops.store(src + off, CL, data=b"\x22" * CL)
+            for off in range(0, 4 * KB, CL):
+                yield ops.clwb(src + off)
+            yield ops.mfence()
+
+        system.run_program(prog())
+        system.drain()
+        assert system.read_memory(dst, 4 * KB) == b"\x11" * 4 * KB
+        assert system.read_memory(src, 4 * KB) == b"\x22" * 4 * KB

@@ -1,0 +1,73 @@
+"""Unit tests for the ISA op constructors."""
+
+import pytest
+
+from repro.isa import ops
+from repro.isa.ops import Op, OpKind
+
+
+class TestConstructors:
+    def test_load_defaults(self):
+        op = ops.load(0x1000)
+        assert op.kind is OpKind.LOAD
+        assert op.size == 8
+        assert not op.blocking
+
+    def test_blocking_load(self):
+        assert ops.load(0x1000, blocking=True).blocking
+
+    def test_store_with_data(self):
+        op = ops.store(0x1000, 4, data=b"\x01\x02\x03\x04")
+        assert op.kind is OpKind.STORE
+        assert op.data == b"\x01\x02\x03\x04"
+
+    def test_nt_store_defaults_to_line(self):
+        assert ops.nt_store(0x1000).size == 64
+
+    def test_clwb(self):
+        op = ops.clwb(0x1234)
+        assert op.kind is OpKind.CLWB
+        assert op.size == 64
+
+    def test_clwb_range(self):
+        op = ops.clwb_range(0x1000, 4096)
+        assert op.kind is OpKind.CLWB_RANGE
+        assert op.size == 4096
+
+    def test_mclazy_carries_both_addresses(self):
+        op = ops.mclazy(0x2000, 0x1000, 128)
+        assert op.addr == 0x2000       # destination
+        assert op.src_addr == 0x1000   # source
+        assert op.size == 128
+
+    def test_mcfree(self):
+        op = ops.mcfree(0x3000, 4096)
+        assert op.kind is OpKind.MCFREE
+
+    def test_mfence(self):
+        assert ops.mfence().kind is OpKind.MFENCE
+
+    def test_compute(self):
+        assert ops.compute(50).cycles == 50
+
+    def test_bulk_copy(self):
+        op = ops.bulk_copy(0x2000, 0x1000, 8192)
+        assert op.kind is OpKind.BULK_COPY
+        assert op.addr == 0x2000 and op.src_addr == 0x1000
+
+
+class TestLifecycleFields:
+    def test_fresh_op_has_no_timestamps(self):
+        op = ops.load(0)
+        assert op.issued_at is None
+        assert op.completed_at is None
+        assert op.retired_at is None
+        assert op.value is None
+
+    def test_on_retire_callback_stored(self):
+        marker = lambda op, t: None
+        assert ops.load(0, on_retire=marker).on_retire is marker
+
+    def test_repr_is_informative(self):
+        text = repr(ops.load(0x1000, 8))
+        assert "load" in text and "0x1000" in text

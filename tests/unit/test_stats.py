@@ -1,0 +1,91 @@
+"""Unit tests for the statistics registry."""
+
+import math
+
+from repro.sim.stats import Counter, Distribution, StatGroup
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(10)
+        c.reset()
+        assert c.value == 0
+
+
+class TestDistribution:
+    def test_streaming_moments(self):
+        d = Distribution("lat")
+        for v in (10, 20, 30):
+            d.record(v)
+        assert d.count == 3
+        assert d.mean == 20
+        assert d.min == 10
+        assert d.max == 30
+
+    def test_empty_mean_is_zero(self):
+        assert Distribution("x").mean == 0.0
+
+    def test_percentile_nearest_rank(self):
+        d = Distribution("lat")
+        for v in range(1, 101):
+            d.record(v)
+        assert d.percentile(50) == 50
+        assert d.percentile(99) == 99
+        assert d.percentile(100) == 100
+
+    def test_percentile_empty(self):
+        assert Distribution("x").percentile(50) == 0.0
+
+    def test_keep_samples_false_drops_samples(self):
+        d = Distribution("x", keep_samples=False)
+        d.record(5)
+        assert d.samples == []
+        assert d.count == 1
+
+    def test_reset(self):
+        d = Distribution("x")
+        d.record(1)
+        d.reset()
+        assert d.count == 0
+        assert d.min == math.inf
+
+
+class TestStatGroup:
+    def test_counter_is_memoized(self):
+        g = StatGroup("g")
+        assert g.counter("a") is g.counter("a")
+
+    def test_nested_groups_and_get(self):
+        root = StatGroup("root")
+        root.group("l1").counter("hits").inc(7)
+        assert root.get("l1.hits") == 7
+
+    def test_flatten_paths(self):
+        root = StatGroup("root")
+        root.counter("top").inc(1)
+        root.group("a").group("b").counter("deep").inc(2)
+        flat = root.flatten()
+        assert flat["top"] == 1
+        assert flat["a.b.deep"] == 2
+
+    def test_reset_recurses(self):
+        root = StatGroup("root")
+        root.group("a").counter("x").inc(5)
+        root.distribution("d").record(1)
+        root.reset()
+        assert root.get("a.x") == 0
+        assert root.distributions["d"].count == 0
+
+    def test_report_contains_names(self):
+        root = StatGroup("root")
+        root.counter("requests", "total requests").inc(3)
+        text = root.report()
+        assert "requests" in text
+        assert "[root]" in text

@@ -1,0 +1,123 @@
+"""Unit tests for the System facade and configuration."""
+
+import pytest
+
+from repro import BASELINE, TABLE1, System, SystemConfig, small_system
+from repro.common.errors import ConfigError, SimulationError
+from repro.isa import ops
+from repro.mcsquare.controller import McSquareController
+from repro.memctrl.controller import MemoryController
+
+
+class TestConfig:
+    def test_table1_defaults(self):
+        assert TABLE1.num_cpus == 8
+        assert TABLE1.clock_ghz == 4.0
+        assert TABLE1.dram_channels == 2
+        assert TABLE1.ctt_entries == 2048
+        assert TABLE1.bpq_entries == 8
+        assert TABLE1.mcsquare_enabled
+
+    def test_baseline_has_no_mcsquare(self):
+        assert not BASELINE.mcsquare_enabled
+
+    def test_with_overrides_is_a_copy(self):
+        modified = TABLE1.with_overrides(ctt_entries=64)
+        assert modified.ctt_entries == 64
+        assert TABLE1.ctt_entries == 2048
+
+    @pytest.mark.parametrize("bad", [
+        dict(num_cpus=0),
+        dict(dram_channels=0),
+        dict(copy_threshold=0.0),
+        dict(copy_threshold=1.5),
+        dict(ctt_entries=0),
+        dict(bpq_entries=-1),
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            SystemConfig(**bad).validate()
+
+
+class TestSystemAssembly:
+    def test_mcsquare_controllers_when_enabled(self):
+        system = System(small_system())
+        assert all(isinstance(mc, McSquareController)
+                   for mc in system.controllers)
+        assert system.ctt is not None
+
+    def test_baseline_controllers_when_disabled(self):
+        system = System(small_system(mcsquare_enabled=False))
+        assert all(type(mc) is MemoryController
+                   for mc in system.controllers)
+        assert system.ctt is None
+
+    def test_peers_wired(self):
+        system = System(small_system())
+        for mc in system.controllers:
+            assert len(mc.peers) == system.config.dram_channels - 1
+
+    def test_core_count(self):
+        system = System(small_system(num_cpus=3))
+        assert len(system.cores) == 3
+
+
+class TestAllocation:
+    def test_alloc_respects_alignment(self):
+        system = System(small_system())
+        assert system.alloc(100, align=4096) % 4096 == 0
+        assert system.alloc(10) % 64 == 0
+
+    def test_alloc_never_returns_page_zero(self):
+        system = System(small_system())
+        assert system.alloc(64) >= 4096
+
+    def test_alloc_exhaustion(self):
+        system = System(small_system())
+        with pytest.raises(SimulationError):
+            system.alloc(system.config.dram_size)
+
+
+class TestRunPrograms:
+    def test_multi_core_completion_time(self):
+        system = System(small_system())
+
+        def make(cycles):
+            def prog():
+                yield ops.compute(cycles)
+            return prog()
+
+        finish = system.run_programs({0: make(100), 1: make(5000)})
+        assert finish >= 5000
+
+    def test_unfinished_program_raises(self):
+        system = System(small_system())
+
+        def forever():
+            while True:
+                yield ops.compute(100)
+
+        with pytest.raises(SimulationError):
+            system.run_programs({0: forever()}, max_cycles=10_000)
+
+    def test_read_memory_sees_all_layers(self):
+        system = System(small_system())
+        addr = system.alloc(4096)
+        system.backing.write(addr, b"LAYER-0!")
+        assert system.read_memory(addr, 8) == b"LAYER-0!"
+
+        def prog():
+            yield ops.store(addr, 8, data=b"LAYER-1!")
+
+        system.run_program(prog())
+        assert system.read_memory(addr, 8) == b"LAYER-1!"
+
+    def test_total_dram_accesses_counts(self):
+        system = System(small_system())
+        addr = system.alloc(4096)
+
+        def prog():
+            yield ops.load(addr, 8)
+
+        system.run_program(prog())
+        assert system.total_dram_accesses() >= 1

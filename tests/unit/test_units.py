@@ -1,0 +1,77 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestConversions:
+    def test_ns_to_cycles_rounds_up(self):
+        assert units.ns_to_cycles(1.0) == 4
+        assert units.ns_to_cycles(0.79) == 4  # CTT latency: 3.16 -> 4
+        assert units.ns_to_cycles(0.25) == 1
+
+    def test_ns_to_cycles_exact(self):
+        assert units.ns_to_cycles(2.0) == 8
+
+    def test_cycles_to_ns_roundtrip(self):
+        assert units.cycles_to_ns(8) == 2.0
+
+    def test_cycles_to_us(self):
+        assert units.cycles_to_us(4000) == 1.0
+
+    def test_custom_clock(self):
+        assert units.ns_to_cycles(1.0, clock_ghz=2.0) == 2
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert units.align_down(100, 64) == 64
+        assert units.align_down(64, 64) == 64
+        assert units.align_down(63, 64) == 0
+
+    def test_align_up(self):
+        assert units.align_up(100, 64) == 128
+        assert units.align_up(64, 64) == 64
+        assert units.align_up(0, 64) == 0
+
+    def test_align_rem_matches_paper_macro(self):
+        # ALIGN_REM returns bytes needed to reach the next boundary,
+        # zero when already aligned (Fig. 8).
+        assert units.align_rem(0, 64) == 0
+        assert units.align_rem(1, 64) == 63
+        assert units.align_rem(63, 64) == 1
+        assert units.align_rem(64, 64) == 0
+
+    def test_is_aligned(self):
+        assert units.is_aligned(128, 64)
+        assert not units.is_aligned(130, 64)
+
+    def test_cacheline_of(self):
+        assert units.cacheline_of(130) == 128
+
+    @pytest.mark.parametrize("addr,size,expected", [
+        (0, 0, 0),
+        (0, 1, 1),
+        (0, 64, 1),
+        (0, 65, 2),
+        (63, 2, 2),
+        (64, 64, 1),
+        (10, 128, 3),
+    ])
+    def test_cachelines_spanned(self, addr, size, expected):
+        assert units.cachelines_spanned(addr, size) == expected
+
+
+class TestPrettySize:
+    def test_bytes(self):
+        assert units.pretty_size(64) == "64B"
+
+    def test_kb(self):
+        assert units.pretty_size(4096) == "4KB"
+
+    def test_mb(self):
+        assert units.pretty_size(2 * 1024 * 1024) == "2MB"
+
+    def test_non_multiple_falls_back_to_bytes(self):
+        assert units.pretty_size(1500) == "1500B"
