@@ -16,9 +16,20 @@ import sys
 from typing import List, Optional
 
 
-def _cmd_demo(_args) -> int:
+def _cmd_demo(args) -> int:
     from repro import System, SystemConfig
+    from repro.mcsquare.verification import ConsistencyChecker
     from repro.sw.memcpy import memcpy_lazy_ops, memcpy_ops
+
+    if args.inject:
+        from repro.common.errors import FaultSpecError
+        from repro.faults import parse_fault_spec
+        try:
+            for text in args.inject:
+                parse_fault_spec(text)
+        except FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     size = 16 * 1024
     for label, fn in (("eager memcpy", memcpy_ops),
@@ -27,11 +38,31 @@ def _cmd_demo(_args) -> int:
         src = system.alloc(size, align=4096)
         dst = system.alloc(size, align=4096)
         system.backing.fill(src, size, 0xAB)
+        injector = None
+        if args.inject:
+            from repro.faults import from_specs
+            injector = from_specs(system, args.inject, seed=args.fault_seed)
+        checker = None
+        if args.paranoid:
+            checker = ConsistencyChecker(system)
+            checker.attach(every_cycles=1_000)
+        system.attach_watchdog()
         cycles = system.run_program(fn(system, dst, src, size))
-        assert system.read_memory(dst, size) == b"\xAB" * size
+        if checker is not None:
+            checker.verify()
+            checker.detach()
         tracked = len(system.ctt) if system.ctt else 0
-        print(f"{label}: {cycles:6d} cycles "
-              f"({cycles / 4:.0f} ns), CTT entries after: {tracked}")
+        intact = system.read_memory(dst, size) == b"\xAB" * size
+        if injector is None:
+            assert intact
+            print(f"{label}: {cycles:6d} cycles "
+                  f"({cycles / 4:.0f} ns), CTT entries after: {tracked}")
+        else:
+            poisoned = len(system.poisoned_lines())
+            print(f"{label}: {cycles:6d} cycles, CTT entries after: "
+                  f"{tracked}, copy intact: {intact}, "
+                  f"poisoned lines: {poisoned}")
+            print(system.stats.children["faults"].report(indent=1))
     return 0
 
 
@@ -71,7 +102,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="(MC)^2 reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("demo", help="quickstart lazy-copy walkthrough")
+    demo = sub.add_parser("demo", help="quickstart lazy-copy walkthrough")
+    demo.add_argument(
+        "--inject", action="append", default=[], metavar="SPEC",
+        help="inject a fault (repeatable), e.g. "
+             "'bitflip:addr=0x1000,bits=2,at=5000', 'pkt-drop:p=0.01', "
+             "'ctt-drop:at=8000' — see repro.faults.injector")
+    demo.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="RNG seed for fault injection (default 0)")
+    demo.add_argument(
+        "--paranoid", action="store_true",
+        help="run the (MC)^2 consistency checker every 1000 cycles")
     sub.add_parser("costs", help="CTT hardware cost estimates")
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("number", help="figure number, e.g. 21 or 16a... "

@@ -70,6 +70,12 @@ class CacheHierarchy:
         # (MCLAZY destination, NT store, bulk-copy overwrite) must not
         # install its now-stale data when it returns.
         self._fill_epoch: Dict[int, int] = {}
+        # Lines whose cached copy was filled from poisoned memory
+        # (detected-uncorrectable ECC).  Writebacks of these lines carry
+        # the poison back to memory so corruption stays contained; a
+        # clean refill or full invalidation clears the mark.  Empty on a
+        # healthy machine, so the hot paths are unaffected.
+        self.poisoned_lines: set = set()
 
         self._loads = stats.counter("loads", "demand loads")
         self._stores = stats.counter("stores", "demand stores")
@@ -182,8 +188,14 @@ class CacheHierarchy:
             return
         l1 = self.l1s[core]
         self._invalidate_peers(core, line_addr)
+        # A store that rewrites every byte of the line no longer depends
+        # on the (possibly poisoned) previous contents: recovery by full
+        # overwrite, as on real machines.  Partial stores keep the taint.
+        full_line = addr == line_addr and size == CACHELINE_SIZE
 
         if l1.write_bytes(addr, data, self.sim.now):
+            if full_line:
+                self.poisoned_lines.discard(line_addr)
             l1.hits.inc()
             done = self.sim.now + 1
             self.sim.schedule_at(done, lambda: on_complete(done),
@@ -200,6 +212,8 @@ class CacheHierarchy:
             def _fill_and_write() -> None:
                 self._install(l1, line_addr, bytes(l2_line.data), dirty=False)
                 l1.write_bytes(addr, data, self.sim.now)
+                if full_line:
+                    self.poisoned_lines.discard(line_addr)
                 on_complete(done)
 
             self.sim.schedule_at(done, _fill_and_write, label="store-l2")
@@ -208,6 +222,8 @@ class CacheHierarchy:
 
         def _on_rfo(line_data: bytes, finish: int) -> None:
             l1.write_bytes(addr, data, self.sim.now)
+            if full_line:
+                self.poisoned_lines.discard(line_addr)
             on_complete(finish)
 
         self._fetch_line(core, line_addr, _on_rfo, fill_l1=True)
@@ -255,11 +271,17 @@ class CacheHierarchy:
         merged = bytearray(self._functional_line(core, line_addr))
         offset = addr - line_addr
         merged[offset:offset + size] = data
+        # A full-line NT store is all-fresh data; a partial one keeps
+        # bytes from a (possibly poisoned) cached copy.  Capture before
+        # the invalidation clears the poison mark.
+        tainted = (size < CACHELINE_SIZE
+                   and line_addr in self.poisoned_lines)
         self._invalidate_everywhere(line_addr)
         pkt = Packet(PacketType.WRITE, line_addr, CACHELINE_SIZE,
                      requestor=core,
                      on_complete=lambda p: on_complete(self.sim.now))
         pkt.data = bytes(merged)
+        pkt.poisoned = tainted
         self._send(pkt)
 
     def clwb(self, core: int, addr: int,
@@ -430,6 +452,7 @@ class CacheHierarchy:
             wr = Packet(PacketType.WRITE, dst_line, CACHELINE_SIZE,
                         on_complete=lambda p: done())
             wr.data = pkt.data or bytes(CACHELINE_SIZE)
+            wr.poisoned = pkt.poisoned  # poison travels with copied data
             self._send(wr)
 
         rd = Packet(PacketType.READ, src_line, CACHELINE_SIZE,
@@ -452,6 +475,7 @@ class CacheHierarchy:
             cache.invalidate(line_addr)
         self._fill_epoch[line_addr] = self._fill_epoch.get(line_addr, 0) + 1
         self._inflight_fills.pop(line_addr, None)
+        self.poisoned_lines.discard(line_addr)
         # A poisoned prefetch still returns and decrements its core's
         # counter via the discard guard, so only drop it from the dedup
         # set here if nothing is in flight for it anymore.
@@ -516,6 +540,7 @@ class CacheHierarchy:
                 del self._inflight_fills[line_addr]
             if self._fill_epoch.get(line_addr, 0) == epoch:
                 self._install(self.l2, line_addr, data, dirty=False)
+                self._note_fill_poison(line_addr, pkt.poisoned)
             # Demand accesses that arrived meanwhile coalesced onto this
             # prefetch; hand them the data now.
             for waiter in waiters_list:
@@ -573,6 +598,7 @@ class CacheHierarchy:
                 del self._inflight_fills[line_addr]
             if self._fill_epoch.get(line_addr, 0) == epoch:
                 self._install(self.l2, line_addr, data, dirty=False)
+                self._note_fill_poison(line_addr, pkt.poisoned)
             self._finish_miss(core, line_addr, data, finish, on_fill,
                               fill_l1, epoch=epoch)
             for waiter in waiters_list:
@@ -611,7 +637,21 @@ class CacheHierarchy:
         else:
             self.sim.schedule_at(finish, _complete, label="miss-finish")
 
+    def _note_fill_poison(self, line_addr: int, poisoned: bool) -> None:
+        """Track poison for an installed fill; a clean refill clears it."""
+        if poisoned:
+            self.poisoned_lines.add(line_addr)
+        else:
+            self.poisoned_lines.discard(line_addr)
+
     def _send(self, pkt: Packet) -> None:
+        # Every outbound packet funnels through here, so tagging once
+        # covers CLWB drains, eviction writebacks, MCLAZY source flushes
+        # and flush_all alike: a write of a poisoned cached line carries
+        # the poison back to memory.
+        if pkt.is_write and not pkt.poisoned \
+                and align_down(pkt.addr, CACHELINE_SIZE) in self.poisoned_lines:
+            pkt.poisoned = True
         self.send_to_memory(pkt)
 
     # -------------------------------------------------------------- tools

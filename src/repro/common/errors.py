@@ -15,6 +15,30 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent internal state."""
 
 
+class LivelockError(SimulationError):
+    """The simulation stopped making progress.
+
+    Raised by the engine when the event budget is exhausted or by an
+    attached :class:`~repro.faults.watchdog.Watchdog` when simulated time
+    stops advancing.  ``post_mortem`` carries a human-readable dump of
+    the machine state at the moment of detection (see
+    :meth:`~repro.system.system.System.snapshot`).
+    """
+
+    def __init__(self, message: str, post_mortem: str = ""):
+        super().__init__(message if not post_mortem
+                         else f"{message}\n{post_mortem}")
+        self.post_mortem = post_mortem
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection spec string could not be parsed."""
+
+
+class PoisonedDataError(ReproError):
+    """An operation consumed data marked poisoned (detected-uncorrectable)."""
+
+
 class AddressError(ReproError):
     """An access touched an unmapped or out-of-range address."""
 

@@ -69,6 +69,20 @@ MC_STATIC_LATENCY_CYCLES = ns_to_cycles(MC_STATIC_LATENCY_NS)
 INTERCONNECT_HOP_CYCLES = 12      # LLC <-> MC traversal, one way
 BROADCAST_CYCLES = 16             # CTT update broadcast / snoop
 
+# ----------------------------------------------- robustness / fault model
+# Degradation budgets are *opt-in*: the defaults in SystemConfig keep the
+# paper's unbounded-retry behaviour; these constants are the recommended
+# values when bounded degradation is enabled (tests, --inject runs).
+CTT_RETRY_CYCLES = 50             # MCLAZY retry interval on a full CTT
+CTT_RETRY_LIMIT = 64              # bounded-retry budget before eager fallback
+CTT_RETRY_BACKOFF_CAP = 16        # exponential-backoff multiplier ceiling
+BPQ_OVERFLOW_TIMEOUT_CYCLES = 4000  # overflowed source write waits this long
+                                    # before dependents are resolved eagerly
+LINK_RETRY_CYCLES = 200           # CRC-detected link fault: retransmission
+                                  # delay (CXL/DDR links retry in-order)
+WATCHDOG_CHECK_EVERY_EVENTS = 50_000  # watchdog progress-check granularity
+WATCHDOG_STALL_CHECKS = 3         # zero-progress windows before post-mortem
+
 # ------------------------------------------------------------------- CPU
 ROB_ENTRIES = 224                 # Skylake-class reorder buffer
 LSQ_ENTRIES = 72                  # combined load/store queue budget

@@ -1,0 +1,92 @@
+"""SEC-DED ECC model for DRAM line corruption.
+
+Server DRAM protects each 64-bit word with a (72,64) Hamming SEC-DED
+code: any single-bit error is corrected transparently, any double-bit
+error is *detected* but not correctable (the platform poisons the line),
+and three or more flipped bits can alias onto a valid codeword and slip
+through silently.  We model the same three outcomes at cacheline
+granularity, which is how the memory controller observes them:
+
+* ``CORRECTED``  — data unchanged (the scrub fixed it), counted;
+* ``DETECTED``   — data corrupted **and** the line poisoned, so every
+  consumer (bounce, materialization, writeback) sees known-bad data and
+  must propagate the poison instead of laundering it as clean bytes;
+* ``SILENT``     — data corrupted with no poison: undetectable by the
+  hardware, and exactly what the differential oracle exists to catch.
+
+The classification is deliberately simple (bit count → outcome) because
+the repro needs deterministic, seedable behaviour, not a coding-theory
+simulation: 1 flipped bit is always correctable, 2 always detectable,
+3+ modelled as silent aliasing (the worst case for SEC-DED).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Optional
+
+from repro.common.units import CACHELINE_SIZE, align_down
+from repro.mem.backing_store import BackingStore
+from repro.sim.stats import StatGroup
+
+
+class EccOutcome(enum.Enum):
+    """What the SEC-DED logic reports for one corrupted line."""
+
+    CORRECTED = "corrected"    # single-bit: fixed in place
+    DETECTED = "detected"      # double-bit: data bad, line poisoned
+    SILENT = "silent"          # 3+ bits: aliased onto a valid codeword
+
+
+def classify(bits_flipped: int) -> EccOutcome:
+    """SEC-DED outcome for ``bits_flipped`` errors in one line."""
+    if bits_flipped <= 0:
+        raise ValueError("need at least one flipped bit")
+    if bits_flipped == 1:
+        return EccOutcome.CORRECTED
+    if bits_flipped == 2:
+        return EccOutcome.DETECTED
+    return EccOutcome.SILENT
+
+
+class EccModel:
+    """Applies bit flips to a :class:`BackingStore` and accounts outcomes."""
+
+    def __init__(self, backing: BackingStore,
+                 stats: Optional[StatGroup] = None):
+        self.backing = backing
+        stats = stats or StatGroup("ecc")
+        self.stats = stats
+        self._corrected = stats.counter(
+            "corrected", "single-bit errors fixed by SEC-DED")
+        self._detected = stats.counter(
+            "detected", "double-bit errors detected; line poisoned")
+        self._silent = stats.counter(
+            "silent", "3+ bit errors aliased past SEC-DED")
+
+    def corrupt_line(self, addr: int, bits: int,
+                     rng: random.Random) -> EccOutcome:
+        """Flip ``bits`` distinct random bits in the line at ``addr``.
+
+        Returns the SEC-DED outcome.  CORRECTED leaves the data intact
+        (the correction is instantaneous at this abstraction level);
+        DETECTED corrupts the data and poisons the line; SILENT corrupts
+        the data and leaves no trace.
+        """
+        outcome = classify(bits)
+        if outcome is EccOutcome.CORRECTED:
+            self._corrected.inc()
+            return outcome
+
+        base = align_down(addr, CACHELINE_SIZE)
+        line = bytearray(self.backing.read_line(base))
+        for position in rng.sample(range(CACHELINE_SIZE * 8), bits):
+            line[position // 8] ^= 1 << (position % 8)
+        self.backing.write_line(base, bytes(line))
+        if outcome is EccOutcome.DETECTED:
+            self.backing.poison(base)
+            self._detected.inc()
+        else:
+            self._silent.inc()
+        return outcome

@@ -1,0 +1,240 @@
+"""Deterministic, seedable fault injection for the simulated machine.
+
+The injector perturbs a running :class:`~repro.system.system.System` in
+the ways real memory systems fail, while keeping every run reproducible
+(one ``random.Random`` seeded at construction; no global randomness):
+
+* **DRAM bit flips** through the SEC-DED model in :mod:`repro.faults.ecc`
+  — correctable, detected-uncorrectable (poisoning), or silent;
+* **link faults** on the LLC↔MC interconnect.  Real DDR/CXL links detect
+  corrupted flits by CRC and *retransmit in order*, so a "dropped" packet
+  is modelled as a retransmission delay, a marginal link as extra latency,
+  and a replay glitch as a duplicate delivery — none of which may reorder
+  traffic, because the paper's consistency argument (§III-B1) leans on
+  FIFO delivery from the caches to the MC;
+* **structure drops**: invalidating a live CTT entry or discarding a
+  parked BPQ write mid-flight, modelling SRAM upsets in the (MC)²
+  structures themselves.  These are *silent* state losses the
+  differential oracle is designed to expose.
+
+Faults are described by compact spec strings (``--inject`` on the CLI)::
+
+    bitflip:addr=0x1000,bits=2,at=5000   # 2-bit flip (DUE) at cycle 5000
+    pkt-drop:p=0.01                      # 1% CRC retransmissions
+    pkt-dup:p=0.005                      # 0.5% duplicate deliveries
+    pkt-delay:p=0.05,cycles=40           # 5% of packets +40 cycles
+    ctt-drop:at=8000                     # lose a random CTT entry
+    bpq-drop:at=8000                     # lose a random parked write
+
+All counters live under the ``faults`` stat group so any run can report
+exactly what was injected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common import params
+from repro.common.errors import FaultSpecError
+from repro.common.units import CACHELINE_SIZE, align_down
+from repro.faults.ecc import EccModel, EccOutcome
+from repro.sim.packet import Packet, PacketType
+
+# Allowed keys per spec kind; `p` parses as a float, everything else as an
+# int (``int(x, 0)`` so hex addresses work).
+_SPEC_KINDS: Dict[str, frozenset] = {
+    "bitflip": frozenset({"addr", "bits", "at"}),
+    "pkt-drop": frozenset({"p"}),
+    "pkt-dup": frozenset({"p"}),
+    "pkt-delay": frozenset({"p", "cycles"}),
+    "ctt-drop": frozenset({"at"}),
+    "bpq-drop": frozenset({"at"}),
+}
+
+
+def parse_fault_spec(text: str) -> Dict[str, object]:
+    """Parse one ``kind:key=value,...`` spec into a validated dict."""
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    if kind not in _SPEC_KINDS:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r}; expected one of "
+            f"{', '.join(sorted(_SPEC_KINDS))}")
+    allowed = _SPEC_KINDS[kind]
+    spec: Dict[str, object] = {"kind": kind}
+    rest = rest.strip()
+    if rest:
+        for item in rest.split(","):
+            key, eq, value = (part.strip() for part in item.partition("="))
+            if not eq or not key or not value:
+                raise FaultSpecError(
+                    f"malformed field {item!r} in {text!r} "
+                    f"(expected key=value)")
+            if key in spec:
+                raise FaultSpecError(f"duplicate field {key!r} in {text!r}")
+            if key not in allowed:
+                raise FaultSpecError(
+                    f"field {key!r} not valid for {kind!r} "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'none'})")
+            try:
+                spec[key] = float(value) if key == "p" else int(value, 0)
+            except ValueError:
+                raise FaultSpecError(
+                    f"cannot parse {key}={value!r} in {text!r}")
+    if kind == "bitflip" and "addr" not in spec:
+        raise FaultSpecError("bitflip requires addr=...")
+    p = spec.get("p")
+    if p is not None and not 0.0 <= p <= 1.0:
+        raise FaultSpecError(f"probability p={p} outside [0, 1]")
+    return spec
+
+
+class FaultInjector:
+    """Injects faults into one :class:`System`, deterministically."""
+
+    def __init__(self, system, seed: int = 0):
+        self.system = system
+        self.rng = random.Random(seed)
+        stats = system.stats.group("faults")
+        self.stats = stats
+        self.ecc = EccModel(system.backing, stats.group("ecc"))
+        self._bitflips = stats.counter(
+            "bitflips", "bit-flip fault events injected")
+        self._pkt_retransmits = stats.counter(
+            "pkt_retransmits", "packets delayed by CRC retransmission")
+        self._pkt_dups = stats.counter(
+            "pkt_dups", "packets delivered twice (link replay)")
+        self._pkt_delays = stats.counter(
+            "pkt_delays", "packets delayed by a marginal link")
+        self._ctt_drops = stats.counter(
+            "ctt_drops", "live CTT entries invalidated (SRAM upset)")
+        self._bpq_drops = stats.counter(
+            "bpq_drops", "parked BPQ writes discarded (SRAM upset)")
+        # Probabilistic link-fault knobs (0.0 = healthy link).
+        self.pkt_drop_p = 0.0
+        self.pkt_dup_p = 0.0
+        self.pkt_delay_p = 0.0
+        self.pkt_delay_cycles = 40
+        self.installed = False
+
+    # ----------------------------------------------------------- plumbing
+    def install(self) -> "FaultInjector":
+        """Hook the interconnect so link faults apply to every packet."""
+        self.system.interconnect.fault_hook = self._packet_fault
+        self.installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the healthy interconnect."""
+        # `==` not `is`: bound methods are recreated on each access.
+        if self.system.interconnect.fault_hook == self._packet_fault:
+            self.system.interconnect.fault_hook = None
+        self.installed = False
+
+    def _packet_fault(self, pkt: Packet) -> Optional[Tuple[int, bool]]:
+        """Per-packet link perturbation: ``(extra_delay, duplicate)``.
+
+        Delays model CRC retransmission / marginal-link jitter; they are
+        applied by the interconnect *before* it advances its in-order
+        delivery horizon, so FIFO ordering is preserved.  Duplication is
+        restricted to READ/WRITE, which are idempotent at the controller
+        (a second completion is a no-op; a second write of the same data
+        merges or rewrites identically).
+        """
+        delay = 0
+        duplicate = False
+        if self.pkt_drop_p and self.rng.random() < self.pkt_drop_p:
+            delay += params.LINK_RETRY_CYCLES
+            self._pkt_retransmits.inc()
+        if self.pkt_delay_p and self.rng.random() < self.pkt_delay_p:
+            delay += self.pkt_delay_cycles
+            self._pkt_delays.inc()
+        if (self.pkt_dup_p
+                and pkt.ptype in (PacketType.READ, PacketType.WRITE)
+                and self.rng.random() < self.pkt_dup_p):
+            duplicate = True
+            self._pkt_dups.inc()
+        if delay or duplicate:
+            return delay, duplicate
+        return None
+
+    # ------------------------------------------------------ memory faults
+    def flip_bits(self, addr: int, bits: int = 2) -> EccOutcome:
+        """Flip ``bits`` random bits in the line at ``addr`` right now."""
+        self._bitflips.inc()
+        return self.ecc.corrupt_line(addr, bits, self.rng)
+
+    # --------------------------------------------------- structure faults
+    def drop_random_ctt_entry(self) -> bool:
+        """Invalidate one randomly chosen CTT entry (silent state loss).
+
+        The destination range quietly stops being tracked: subsequent
+        reads return stale backing-store bytes instead of the source
+        data.  Returns False when the CTT is absent or empty.
+        """
+        ctt = self.system.ctt
+        if ctt is None or len(ctt) == 0:
+            return False
+        entry = self.rng.choice(list(ctt.entries))
+        ctt.remove_dest_range(entry.dst, entry.size)
+        self._ctt_drops.inc()
+        return True
+
+    def drop_random_bpq_entry(self) -> bool:
+        """Discard one randomly chosen parked BPQ write (data loss).
+
+        The parked bytes never drain; memory keeps the pre-write
+        contents.  Returns False when no controller holds a parked write.
+        """
+        holders = [mc for mc in self.system.controllers
+                   if getattr(mc, "bpq", None) is not None
+                   and len(mc.bpq) > 0]
+        if not holders:
+            return False
+        mc = self.rng.choice(holders)
+        entry = self.rng.choice(mc.bpq.entries())
+        mc.bpq.drop(entry.line)
+        self._bpq_drops.inc()
+        # The freed slot can admit a stalled overflow write.
+        mc._admit_overflow()
+        return True
+
+    # --------------------------------------------------------- spec-driven
+    def apply_spec(self, spec: Dict[str, object]) -> None:
+        """Arm one parsed spec: set a knob or schedule a timed event."""
+        kind = spec["kind"]
+        if kind == "pkt-drop":
+            self.pkt_drop_p = float(spec.get("p", 0.01))
+        elif kind == "pkt-dup":
+            self.pkt_dup_p = float(spec.get("p", 0.01))
+        elif kind == "pkt-delay":
+            self.pkt_delay_p = float(spec.get("p", 0.05))
+            self.pkt_delay_cycles = int(spec.get("cycles", 40))
+        elif kind == "bitflip":
+            addr = int(spec["addr"])
+            bits = int(spec.get("bits", 2))
+            self._at(spec, lambda: self.flip_bits(addr, bits),
+                     label="fault-bitflip")
+        elif kind == "ctt-drop":
+            self._at(spec, self.drop_random_ctt_entry, label="fault-ctt-drop")
+        elif kind == "bpq-drop":
+            self._at(spec, self.drop_random_bpq_entry, label="fault-bpq-drop")
+
+    def _at(self, spec: Dict[str, object], thunk, label: str) -> None:
+        when = int(spec.get("at", self.system.sim.now))
+        if when <= self.system.sim.now:
+            thunk()
+        else:
+            self.system.sim.schedule_at(when, lambda: thunk(), label=label)
+
+
+def from_specs(system, texts: Iterable[str],
+               seed: int = 0) -> FaultInjector:
+    """Build, arm and install an injector from CLI-style spec strings."""
+    specs: List[Dict[str, object]] = [parse_fault_spec(t) for t in texts]
+    injector = FaultInjector(system, seed=seed)
+    for spec in specs:
+        injector.apply_spec(spec)
+    injector.install()
+    return injector

@@ -1,0 +1,97 @@
+"""Simulator progress watchdog.
+
+A livelocked simulation (e.g. an MCLAZY packet retrying a permanently
+full CTT, or two components ping-ponging zero-delay events) used to die
+with a bare "exceeded max_events" :class:`SimulationError` after minutes
+of wall-clock time and no hint of *what* was spinning.  The watchdog
+replaces that with early detection plus a post-mortem:
+
+* :meth:`observe` is called by :class:`repro.sim.engine.Simulator` after
+  every fired event, recording the event label into the current window;
+* every ``check_every`` events it checks whether simulated time advanced
+  since the previous check.  ``stall_checks`` consecutive windows with
+  zero time progress means the queue is churning at a frozen clock —
+  the definition of a livelock in a discrete-event simulator — and the
+  watchdog raises :class:`LivelockError`;
+* the exception carries :meth:`post_mortem` output: the label histogram
+  of the stalled window (which component is spinning) plus whatever the
+  attached ``snapshot_fn`` reports (CTT occupancy, queue depths, ...).
+
+Time that advances — however slowly — is *not* a livelock; bounded
+retries with backoff make progress in simulated time and never trip the
+watchdog.  That keeps false positives impossible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common import params
+from repro.common.errors import LivelockError
+
+SnapshotFn = Callable[[], Dict[str, object]]
+
+
+class Watchdog:
+    """Detects zero-time-progress event churn and reports a post-mortem."""
+
+    def __init__(self,
+                 snapshot_fn: Optional[SnapshotFn] = None,
+                 check_every: int = params.WATCHDOG_CHECK_EVERY_EVENTS,
+                 stall_checks: int = params.WATCHDOG_STALL_CHECKS):
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        if stall_checks <= 0:
+            raise ValueError("stall_checks must be positive")
+        self.snapshot_fn = snapshot_fn
+        self.check_every = check_every
+        self.stall_checks = stall_checks
+        self._window_labels: Dict[str, int] = {}
+        self._window_events = 0
+        self._last_check_now: Optional[int] = None
+        self._stalled_windows = 0
+        self.total_events = 0
+
+    # ------------------------------------------------------------ observe
+    def observe(self, label: str, now: int) -> None:
+        """Record one fired event; raise LivelockError when stalled."""
+        self.total_events += 1
+        self._window_events += 1
+        label = label or "<unlabelled>"
+        self._window_labels[label] = self._window_labels.get(label, 0) + 1
+        if self._window_events < self.check_every:
+            return
+
+        stalled = self._last_check_now is not None and now <= self._last_check_now
+        self._last_check_now = now
+        if stalled:
+            self._stalled_windows += 1
+            if self._stalled_windows >= self.stall_checks:
+                raise LivelockError(
+                    f"no simulated-time progress across "
+                    f"{self._stalled_windows * self.check_every} events "
+                    f"(clock stuck at cycle {now})",
+                    post_mortem=self.post_mortem("zero time progress"),
+                )
+            # Keep the stalled window's histogram: if the next window
+            # stalls too, the accumulated counts show what is spinning.
+            return
+        self._stalled_windows = 0
+        self._window_labels = {}
+        self._window_events = 0
+
+    # -------------------------------------------------------- post-mortem
+    def post_mortem(self, reason: str) -> str:
+        """Multi-line report of what the simulation was doing when it died."""
+        lines = [f"watchdog post-mortem: {reason}",
+                 f"  events observed: {self.total_events}"]
+        if self._window_labels:
+            lines.append("  recent event labels (current window):")
+            ordered = sorted(self._window_labels.items(), key=lambda kv: -kv[1])
+            for label, count in ordered[:12]:
+                lines.append(f"    {count:>8}  {label}")
+        if self.snapshot_fn is not None:
+            lines.append("  system snapshot:")
+            for key, value in self.snapshot_fn().items():
+                lines.append(f"    {key}: {value}")
+        return "\n".join(lines)

@@ -36,6 +36,12 @@ class Interconnect:
         self._packets = stats.counter("packets", "packets transported")
         self._broadcasts = stats.counter("broadcasts", "control broadcasts")
         self._last_delivery = 0
+        # Optional fault injection (repro.faults.injector): called per
+        # packet, returns (extra_delay, duplicate) or None.  Delays model
+        # CRC retransmission on a lossy link — the link protocol retries
+        # *in order*, so the perturbed delivery still advances the FIFO
+        # horizon and ordering is preserved.
+        self.fault_hook = None
 
     def send(self, pkt: Packet) -> None:
         """Deliver ``pkt`` to its controller after the hop latency.
@@ -45,6 +51,12 @@ class Interconnect:
         """
         self._packets.inc()
         when = max(self.sim.now + self.hop_cycles, self._last_delivery)
+        duplicate = False
+        if self.fault_hook is not None:
+            fault = self.fault_hook(pkt)
+            if fault is not None:
+                extra_delay, duplicate = fault
+                when += extra_delay
         self._last_delivery = when
 
         if pkt.ptype in (PacketType.MCLAZY, PacketType.MCFREE):
@@ -61,6 +73,13 @@ class Interconnect:
         owner = self._owner(pkt.addr)
         self.sim.schedule_at(when, lambda: owner.receive(pkt),
                              label=f"xbar-{pkt.ptype.value}")
+        if duplicate:
+            # Link replay: the same packet arrives a second time, still in
+            # order (the horizon advances past it).  READ/WRITE handling
+            # is idempotent, so the replica only costs bandwidth.
+            self._last_delivery = when + 1
+            self.sim.schedule_at(when + 1, lambda: owner.receive(pkt),
+                                 label=f"xbar-dup-{pkt.ptype.value}")
 
     def _owner(self, addr: int) -> MemoryController:
         channel = self.controllers[0].address_map.channel_of(addr)

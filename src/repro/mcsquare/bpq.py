@@ -26,7 +26,8 @@ from repro.sim.stats import StatGroup
 class BpqEntry:
     """One parked source-line write awaiting lazy-copy resolution."""
 
-    __slots__ = ("line", "data", "packets", "pending_copies", "parked_at")
+    __slots__ = ("line", "data", "packets", "pending_copies", "parked_at",
+                 "poisoned")
 
     def __init__(self, line: int, data: bytes, packet: Packet, now: int):
         self.line = line
@@ -34,11 +35,17 @@ class BpqEntry:
         self.packets: List[Packet] = [packet]
         self.pending_copies = 0
         self.parked_at = now
+        # Poison travels with the parked data: a poisoned write stays
+        # poisoned through merges and into the eventual drain.
+        self.poisoned = packet.poisoned
 
     def merge(self, data: bytes, packet: Packet) -> None:
         """Coalesce a newer full-line write to the same parked line."""
         self.data = bytearray(data)
         self.packets.append(packet)
+        # The newer full-line write fully replaces the parked bytes, so
+        # its poison state replaces the old one too.
+        self.poisoned = packet.poisoned
 
 
 class BouncePendingQueue:
@@ -58,6 +65,8 @@ class BouncePendingQueue:
         self._full_stalls = stats.counter(
             "full_stalls", "writes delayed because the BPQ was full")
         self._occupancy_peak = stats.counter("peak_occupancy", "max entries held")
+        self._dropped = stats.counter(
+            "dropped", "parked writes discarded by fault injection")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,6 +108,17 @@ class BouncePendingQueue:
         """Remove and return the parked entry (it is draining to memory)."""
         entry = self._entries.pop(line)
         self._drained.inc()
+        return entry
+
+    def drop(self, line: int) -> BpqEntry:
+        """Remove a parked entry *without* draining it (fault injection).
+
+        The parked bytes are lost; memory keeps the pre-write contents.
+        Distinct from :meth:`release` so the stats tell data loss apart
+        from a normal drain.
+        """
+        entry = self._entries.pop(line)
+        self._dropped.inc()
         return entry
 
     def record_full_stall(self) -> None:

@@ -59,6 +59,9 @@ class McSquareController(MemoryController):
         eager_async_copies: bool = False,
         wpq_entries: int = params.MC_WPQ_ENTRIES,
         rpq_entries: int = params.MC_RPQ_ENTRIES,
+        ctt_retry_cycles: int = params.CTT_RETRY_CYCLES,
+        ctt_retry_limit: Optional[int] = None,
+        bpq_overflow_timeout: Optional[int] = None,
     ):
         super().__init__(sim, channel_id, address_map, backing, stats,
                          wpq_entries=wpq_entries, rpq_entries=rpq_entries)
@@ -67,6 +70,15 @@ class McSquareController(MemoryController):
         self.copy_threshold = copy_threshold
         self.parallel_frees = parallel_frees
         self.bounce_writeback = bounce_writeback
+        # Graceful-degradation budgets.  Both default to None (= the
+        # paper's behaviour: retry a full CTT forever at a flat interval,
+        # hold overflowed source writes indefinitely).  A finite retry
+        # limit turns on exponential backoff and, once exhausted, an
+        # eager MC-side copy; a finite overflow timeout resolves the
+        # blocking copies eagerly so the stalled write can land.
+        self.ctt_retry_cycles = ctt_retry_cycles
+        self.ctt_retry_limit = ctt_retry_limit
+        self.bpq_overflow_timeout = bpq_overflow_timeout
         # §VI extension: a copy engine drains the CTT continuously rather
         # than waiting for the 50% threshold (fully asynchronous copies).
         self.eager_async_copies = eager_async_copies
@@ -100,6 +112,15 @@ class McSquareController(MemoryController):
         self._eager_boundary_lines = stats.counter(
             "eager_boundary_lines", "mixed-source lines resolved at insert")
         self._mcfrees = stats.counter("mcfrees", "MCFREE hints processed")
+        self._ctt_full_fallbacks = stats.counter(
+            "ctt_full_fallbacks",
+            "MCLAZY packets degraded to eager MC-side copies")
+        self._bpq_overflow_fallbacks = stats.counter(
+            "bpq_overflow_fallbacks",
+            "overflowed source writes unblocked by eager resolution")
+        self._poison_propagations = stats.counter(
+            "poison_propagations",
+            "destination lines poisoned because their source was")
 
     # =============================================================== reads
     def _handle_read(self, pkt: Packet) -> None:
@@ -109,6 +130,7 @@ class McSquareController(MemoryController):
         parked = self.bpq.get(line)
         if parked is not None:
             pkt.data = bytes(parked.data)
+            pkt.poisoned = parked.poisoned
             done = self.sim.now + params.MC_STATIC_LATENCY_CYCLES + 2
             self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
                                  label="bpq-forward")
@@ -139,8 +161,11 @@ class McSquareController(MemoryController):
         if len(src_lines) == 2:
             self._double_bounces.inc()
 
-        # Functional: compose the line from pre-write memory.
+        # Functional: compose the line from pre-write memory.  Poison is
+        # sampled with the data: a DUE anywhere in the source window makes
+        # the reconstructed line known-bad.
         data = self.backing.read(src_start, CACHELINE_SIZE)
+        poisoned = self.backing.range_poisoned(src_start, CACHELINE_SIZE)
         issued_at = self.sim.now
 
         def _read_next(index: int) -> None:
@@ -159,10 +184,11 @@ class McSquareController(MemoryController):
                 return
             done = self.sim.now + params.MC_STATIC_LATENCY_CYCLES
             pkt.data = data
+            pkt.poisoned = poisoned
             self._read_latency.record(done - issued_at)
             self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
                                  label="bounce-respond")
-            self._maybe_bounce_writeback(line, src_start, data)
+            self._maybe_bounce_writeback(line, src_start, data, poisoned)
 
         # The CTT lookup runs in parallel with the (preempted) access, so
         # only its latency is added before the bounce departs.
@@ -170,7 +196,7 @@ class McSquareController(MemoryController):
                           lambda: _read_next(0), label="bounce-start")
 
     def _maybe_bounce_writeback(self, line: int, expected_src: int,
-                                data: bytes) -> None:
+                                data: bytes, poisoned: bool = False) -> None:
         """Persist a reconstructed line so future reads hit memory.
 
         Skipped when disabled, when the destination WPQ is contended
@@ -193,6 +219,9 @@ class McSquareController(MemoryController):
                 self._bounce_dropped.inc()  # D became someone's source
                 return
             self.backing.write_line(line, data)
+            if poisoned:
+                self.backing.poison(line)
+                self._poison_propagations.inc()
             self.ctt.remove_dest_range(line, CACHELINE_SIZE)
             self._broadcast_update()
             self._bounce_writebacks.inc()
@@ -223,6 +252,14 @@ class McSquareController(MemoryController):
             if self.bpq.full:
                 self.bpq.record_full_stall()
                 self._bpq_overflow.append(pkt)
+                if self.bpq_overflow_timeout is not None:
+                    # Degradation: don't wait forever for a slot — after
+                    # the timeout, eagerly resolve the copies backed by
+                    # this line so the write can land without parking.
+                    self.sim.schedule(
+                        self.bpq_overflow_timeout,
+                        lambda: self._overflow_deadline(pkt),
+                        label="bpq-overflow-deadline")
                 return  # ack (and hence CLWB completion) is delayed
             self._park_source_write(pkt, line)
             return
@@ -276,6 +313,8 @@ class McSquareController(MemoryController):
             return start
         expected_src = entry.src_for_dst(dest_line)
         data = self.backing.read(expected_src, CACHELINE_SIZE)
+        src_poisoned = self.backing.range_poisoned(expected_src,
+                                                   CACHELINE_SIZE)
         src_lines = sorted({align_down(expected_src, CACHELINE_SIZE),
                             align_down(expected_src + CACHELINE_SIZE - 1,
                                        CACHELINE_SIZE)})
@@ -301,6 +340,9 @@ class McSquareController(MemoryController):
                     self._resolve_dependents_of(dest_line, self.sim.now,
                                                 set())
                 self.backing.write_line(dest_line, data)
+                if src_poisoned:
+                    self.backing.poison(dest_line)
+                    self._poison_propagations.inc()
                 self.ctt.remove_dest_range(dest_line, CACHELINE_SIZE)
                 self._broadcast_update()
                 self._src_write_copies.inc()
@@ -343,6 +385,7 @@ class McSquareController(MemoryController):
             self.bpq.release(entry.line)
             drained = Packet(PacketType.WRITE, entry.line, CACHELINE_SIZE)
             drained.data = bytes(entry.data)
+            drained.poisoned = entry.poisoned
             # A parked line may itself be a tracked destination (the
             # write "completes" now): stop tracking it.
             if self.ctt.lookup_dest_line(entry.line) is not None:
@@ -366,6 +409,27 @@ class McSquareController(MemoryController):
             else:
                 self._accept_write(pkt)  # tracking resolved while waiting
 
+    def _overflow_deadline(self, pkt: Packet) -> None:
+        """Bounded-wait fallback for a source write stuck in overflow.
+
+        If ``pkt`` is still waiting when its deadline fires, the copies
+        that draw from its line are resolved eagerly (from the pre-write
+        memory contents, which is what they would have snapshotted) and
+        the write lands directly, bypassing the BPQ.
+        """
+        if not any(waiting is pkt for waiting in self._bpq_overflow):
+            return  # admitted (or already handled) in the meantime
+        self._bpq_overflow.remove(pkt)
+        self._bpq_overflow_fallbacks.inc()
+        line = align_down(pkt.addr, CACHELINE_SIZE)
+        self._resolve_dependents_of(line, self.sim.now, set())
+        if self.ctt.lookup_dest_line(line) is not None:
+            trimmed = self.ctt.remove_dest_range(line, CACHELINE_SIZE)
+            self._dest_write_untracks.inc(trimmed)
+        self._broadcast_update()
+        self._accept_write(pkt)
+        self._drain_ready_bpq_entries()
+
     # ============================================================ control
     def _handle_control(self, pkt: Packet) -> None:
         if pkt.ptype is PacketType.MCLAZY:
@@ -381,20 +445,34 @@ class McSquareController(MemoryController):
         else:
             super()._handle_control(pkt)
 
-    def _handle_mclazy(self, pkt: Packet, waited: int = 0) -> None:
+    def _handle_mclazy(self, pkt: Packet, attempt: int = 0) -> None:
         """Insert a prospective copy, stalling while sources are parked
-        or the table is full."""
+        or the table is full.
+
+        With ``ctt_retry_limit`` unset (the default) this retries forever
+        at a flat interval, exactly the paper's stall behaviour.  With a
+        finite limit the retry interval backs off exponentially (capped)
+        and, once the budget is exhausted, the copy degrades to an eager
+        MC-side ``memcpy`` — slower, but bit-identical and guaranteed to
+        complete even if the table never drains.
+        """
         src = pkt.src_addr
         assert src is not None
         blocked = any(self.bpq.holds(line) or any(
             peer.bpq.holds(line) for peer in self.peers)
             for line in self._lines_of(src, pkt.size))
         if blocked or not self._try_insert(pkt):
-            retry = 50
+            limit = self.ctt_retry_limit
+            if limit is not None and attempt >= limit:
+                self._eager_copy_fallback(pkt)
+                return
+            retry = self.ctt_retry_cycles
+            if limit is not None:
+                retry *= min(2 ** attempt, params.CTT_RETRY_BACKOFF_CAP)
             self._ctt_full_stalls.inc()
             self._ctt_full_stall_cycles.inc(retry)
             self.sim.schedule(retry,
-                              lambda: self._handle_mclazy(pkt, waited + retry),
+                              lambda: self._handle_mclazy(pkt, attempt + 1),
                               label="mclazy-retry")
             return
         self._broadcast_update()
@@ -416,19 +494,139 @@ class McSquareController(MemoryController):
             # still sourcing from this line must materialize first.
             when = self._resolve_dependents_of(dest_line, when, set())
             composed = bytearray(self.backing.read_line(dest_line))
+            poisoned = self.backing.line_poisoned(dest_line)
             for src_byte, offset, length in pieces:
                 composed[offset:offset + length] = \
                     self.backing.read(src_byte, length)
+                poisoned = poisoned or \
+                    self.backing.range_poisoned(src_byte, length)
                 owner = self._owner_of(src_byte)
                 loc = owner.address_map.decode(
                     align_down(src_byte, CACHELINE_SIZE))
                 when = owner.channel.access(loc, when)
             self.backing.write_line(dest_line, bytes(composed))
+            if poisoned:
+                self.backing.poison(dest_line)
+                self._poison_propagations.inc()
             self.ctt.remove_dest_range(dest_line, CACHELINE_SIZE)
             dest_owner = self._owner_of(dest_line)
             when = dest_owner.channel.access(
                 dest_owner.address_map.decode(dest_line), when)
         return True
+
+    def _eager_copy_fallback(self, pkt: Packet) -> None:
+        """Degrade an un-insertable MCLAZY to an eager MC-side copy.
+
+        Fired when the bounded retry budget is exhausted (CTT permanently
+        full, or the source parked for too long).  The controller performs
+        the copy itself, line by line, charging DRAM timing serially on
+        the owning channels — much slower than a CTT insert, but the
+        result is bit-identical to what the lazy path would eventually
+        have produced, and the requesting core is guaranteed to unblock.
+        """
+        dst, src, size = pkt.addr, pkt.src_addr, pkt.size
+        self._ctt_full_fallbacks.inc()
+        dest_lines = self._lines_of(dst, size)
+        # Snapshot the MC-visible source image (parked BPQ data wins over
+        # tracked-destination redirects over plain memory) *before* any
+        # of our own writes can disturb overlapping ranges.
+        data = self._visible_bytes(src, size)
+        line_poison = [
+            self._visible_poisoned(src + off, CACHELINE_SIZE)
+            for off in range(0, size, CACHELINE_SIZE)]
+
+        when = self.sim.now
+        # Destination lines that back *other* prospective copies must
+        # materialize from their pre-overwrite contents first.
+        for dest_line in dest_lines:
+            if self.ctt.source_overlaps(dest_line, CACHELINE_SIZE):
+                when = self._resolve_dependents_of(dest_line, when, set())
+        # The eager copy overwrites any tracking of the destination.
+        self.ctt.remove_dest_range(dst, size)
+
+        for index, dest_line in enumerate(dest_lines):
+            off = index * CACHELINE_SIZE
+            self.backing.write_line(dest_line,
+                                    data[off:off + CACHELINE_SIZE])
+            if line_poison[index]:
+                self.backing.poison(dest_line)
+                self._poison_propagations.inc()
+            src_start = src + off
+            for src_line in {align_down(src_start, CACHELINE_SIZE),
+                             align_down(src_start + CACHELINE_SIZE - 1,
+                                        CACHELINE_SIZE)}:
+                owner = self._owner_of(src_line)
+                when = owner.channel.access(
+                    owner.address_map.decode(src_line), when)
+            dest_owner = self._owner_of(dest_line)
+            when = dest_owner.channel.access(
+                dest_owner.address_map.decode(dest_line), when)
+
+        self._broadcast_update()
+        self._drain_ready_bpq_entries()
+        self.sim.schedule_at(max(when, self.sim.now),
+                             lambda: pkt.complete(self.sim.now),
+                             label="mclazy-eager-fallback")
+
+    def _visible_bytes(self, addr: int, size: int) -> bytes:
+        """MC-visible memory image of [addr, addr+size).
+
+        Composes, newest first: parked BPQ data (acked writes held for
+        resolution), tracked-destination redirects (what a bounce read
+        returns), then the backing store.
+        """
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            cur = addr + pos
+            line = align_down(cur, CACHELINE_SIZE)
+            off = cur - line
+            take = min(CACHELINE_SIZE - off, size - pos)
+            parked = self._parked_entry(line)
+            if parked is not None:
+                out[pos:pos + take] = parked.data[off:off + take]
+            else:
+                entry = self.ctt.lookup_dest_line(line)
+                if entry is not None:
+                    out[pos:pos + take] = self.backing.read(
+                        entry.src_for_dst(cur), take)
+                else:
+                    out[pos:pos + take] = self.backing.read(cur, take)
+            pos += take
+        return bytes(out)
+
+    def _visible_poisoned(self, addr: int, size: int) -> bool:
+        """Whether any MC-visible byte in [addr, addr+size) is poisoned."""
+        pos = 0
+        while pos < size:
+            cur = addr + pos
+            line = align_down(cur, CACHELINE_SIZE)
+            take = min(CACHELINE_SIZE - (cur - line), size - pos)
+            parked = self._parked_entry(line)
+            if parked is not None:
+                if parked.poisoned:
+                    return True
+            else:
+                entry = self.ctt.lookup_dest_line(line)
+                if entry is not None:
+                    if self.backing.range_poisoned(
+                            entry.src_for_dst(cur), take):
+                        return True
+                elif self.backing.line_poisoned(line):
+                    return True
+            pos += take
+        return False
+
+    def _parked_entry(self, line: int):
+        """The BPQ entry parking ``line`` on any controller, if any."""
+        entry = self.bpq.get(line)
+        if entry is not None:
+            return entry
+        for peer in self.peers:
+            entry = peer.bpq.get(line)
+            if entry is not None:
+                return entry
+        return None
 
     def _resolve_dependents_of(self, line: int, when: int,
                                visited: set) -> int:
@@ -445,6 +643,8 @@ class McSquareController(MemoryController):
             when = self._resolve_dependents_of(dep, when, visited)
             src_start = entry.src_for_dst(dep)
             data = self.backing.read(src_start, CACHELINE_SIZE)
+            src_poisoned = self.backing.range_poisoned(src_start,
+                                                       CACHELINE_SIZE)
             for src_line in {align_down(src_start, CACHELINE_SIZE),
                              align_down(src_start + CACHELINE_SIZE - 1,
                                         CACHELINE_SIZE)}:
@@ -452,6 +652,9 @@ class McSquareController(MemoryController):
                 when = owner.channel.access(
                     owner.address_map.decode(src_line), when)
             self.backing.write_line(dep, data)
+            if src_poisoned:
+                self.backing.poison(dep)
+                self._poison_propagations.inc()
             self.ctt.remove_dest_range(dep, CACHELINE_SIZE)
             self._src_write_copies.inc()
             owner = self._owner_of(dep)

@@ -46,11 +46,20 @@ class ConsistencyChecker:
 
     # ------------------------------------------------------------- verify
     def verify(self) -> None:
-        """Run every check once; raises :class:`ConsistencyError`."""
+        """Run every check once; raises :class:`ConsistencyError`.
+
+        Failures carry the simulated cycle and how many checks had
+        passed before — enough to bisect when the invariant broke.
+        """
         self.checks_run += 1
-        self._check_ctt()
-        self._check_bpq()
-        self._check_single_writer()
+        try:
+            self._check_ctt()
+            self._check_bpq()
+            self._check_single_writer()
+        except ConsistencyError as exc:
+            raise ConsistencyError(
+                f"{exc} (cycle {self.system.sim.now}, "
+                f"check #{self.checks_run})") from exc
 
     def _check_ctt(self) -> None:
         ctt = self.system.ctt
@@ -107,6 +116,11 @@ class ConsistencyChecker:
             raise SimulationError("check period must be positive")
 
         def _tick() -> None:
+            # The armed event has fired: clear it first so a verify()
+            # failure leaves the checker cleanly detached instead of
+            # holding a stale (already-fired) event that detach() would
+            # uselessly cancel.
+            self._event = None
             self.verify()
             # Re-arm only while other work exists; otherwise the checker
             # would keep the simulation alive forever.

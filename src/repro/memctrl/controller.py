@@ -108,6 +108,7 @@ class MemoryController:
         # Forward from the WPQ when a buffered write covers this line.
         if self._pending_write_counts.get(pkt.addr):
             pkt.data = self.backing.read_line(pkt.addr)
+            pkt.poisoned = self.backing.line_poisoned(pkt.addr)
             done = arrival + 2  # WPQ CAM forward
             self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
                                  label="mc-wpq-forward")
@@ -117,6 +118,7 @@ class MemoryController:
         data_ready = self.channel.access(loc, arrival)
         done = data_ready + params.MC_STATIC_LATENCY_CYCLES
         pkt.data = self.backing.read_line(pkt.addr)
+        pkt.poisoned = self.backing.line_poisoned(pkt.addr)
         self._read_latency.record(done - self.sim.now)
         self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
                              label="mc-read-done")
@@ -131,8 +133,13 @@ class MemoryController:
         self._writes.inc()
         if pkt.data is not None:
             self.backing.write_line(pkt.addr, pkt.data)
+            if pkt.poisoned:
+                # A poisoned cacheline written back stays known-bad in
+                # memory; only clean data clears the line's poison.
+                self.backing.poison(pkt.addr)
         else:
             pkt.data = self.backing.read_line(pkt.addr)
+            pkt.poisoned = self.backing.line_poisoned(pkt.addr)
         self._pending_write_counts[pkt.addr] = \
             self._pending_write_counts.get(pkt.addr, 0) + 1
         if len(self._wpq) < self.wpq_entries:

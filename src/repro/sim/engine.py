@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import LivelockError, SimulationError
 
 Callback = Callable[[], None]
 
@@ -50,6 +50,10 @@ class Simulator:
         self._seq = itertools.count()
         self.now: int = 0
         self._events_fired = 0
+        # Optional progress monitor (see repro.faults.watchdog.Watchdog):
+        # observes every fired event and raises LivelockError with a
+        # post-mortem when simulated time stops advancing.
+        self.watchdog = None
 
     # ------------------------------------------------------------ schedule
     def schedule(self, delay: int, callback: Callback, label: str = "") -> Event:
@@ -91,13 +95,21 @@ class Simulator:
             event.callback()
             fired += 1
             self._events_fired += 1
-            if fired > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; likely a livelock"
-                )
+            if self.watchdog is not None:
+                self.watchdog.observe(event.label, self.now)
+            if fired >= max_events and self._queue:
+                self._raise_livelock(max_events)
         if until is not None and until > self.now:
             self.now = until
         return self.now
+
+    def _raise_livelock(self, max_events: int) -> None:
+        message = f"exceeded {max_events} events; likely a livelock"
+        post_mortem = ""
+        if self.watchdog is not None:
+            post_mortem = self.watchdog.post_mortem(
+                f"event budget of {max_events} exhausted")
+        raise LivelockError(message, post_mortem=post_mortem)
 
     def step(self) -> bool:
         """Fire the single next pending event.  Returns False when idle."""
@@ -105,6 +117,8 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            if event.when < self.now:
+                raise SimulationError("event queue went backwards in time")
             self.now = event.when
             event.callback()
             self._events_fired += 1
@@ -115,6 +129,22 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    def queue_labels(self, limit: Optional[int] = None) -> Dict[str, int]:
+        """Histogram of pending-event labels, most frequent first.
+
+        The watchdog post-mortem uses this to answer "what is the queue
+        full of?" — a livelock usually shows one label dominating.
+        """
+        counts: Dict[str, int] = {}
+        for event in self._queue:
+            if not event.cancelled:
+                label = event.label or "<unlabelled>"
+                counts[label] = counts.get(label, 0) + 1
+        ordered = sorted(counts.items(), key=lambda kv: -kv[1])
+        if limit is not None:
+            ordered = ordered[:limit]
+        return dict(ordered)
 
     @property
     def events_fired(self) -> int:

@@ -48,12 +48,17 @@ class Packet:
         traffic such as prefetches, bounces and async CTT frees).
     is_prefetch / is_bounce / is_async_copy:
         Provenance flags used for statistics and scheduling priorities.
+    poisoned:
+        Set when the payload derives from a detected-uncorrectable memory
+        error (SEC-DED double-bit).  Poison travels with the data — fills,
+        writebacks, parked BPQ writes — so corruption is *contained* and
+        never silently re-laundered as clean bytes (see ``repro.faults``).
     """
 
     __slots__ = (
         "id", "ptype", "addr", "size", "src_addr", "on_complete",
         "requestor", "is_prefetch", "is_bounce", "is_async_copy",
-        "issued_at", "completed_at", "data",
+        "issued_at", "completed_at", "data", "poisoned",
     )
 
     def __init__(
@@ -78,6 +83,7 @@ class Packet:
         self.issued_at: Optional[int] = None
         self.completed_at: Optional[int] = None
         self.data: Optional[bytes] = None
+        self.poisoned = False
 
     def complete(self, now: int) -> None:
         """Mark done at cycle ``now`` and fire the continuation once."""

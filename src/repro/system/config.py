@@ -38,6 +38,16 @@ class SystemConfig:
     # waiting for the fill threshold.
     eager_async_copies: bool = False
 
+    # Graceful-degradation budgets (see repro.faults).  The None defaults
+    # reproduce the paper exactly: MCLAZY retries a full CTT forever at a
+    # flat interval, and overflowed source writes wait indefinitely for a
+    # BPQ slot.  Finite values bound those waits: MCLAZY backs off
+    # exponentially then degrades to an eager MC-side copy; a stalled
+    # source write eagerly resolves its blocking copies and lands.
+    ctt_retry_cycles: int = params.CTT_RETRY_CYCLES
+    ctt_retry_limit: "int | None" = None
+    bpq_overflow_timeout: "int | None" = None
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` on nonsensical settings."""
         if self.num_cpus <= 0:
@@ -48,6 +58,14 @@ class SystemConfig:
             raise ConfigError("copy threshold must be in (0, 1]")
         if self.ctt_entries <= 0 or self.bpq_entries <= 0:
             raise ConfigError("CTT/BPQ sizes must be positive")
+        if self.ctt_retry_cycles <= 0:
+            raise ConfigError("CTT retry interval must be positive")
+        if self.ctt_retry_limit is not None and self.ctt_retry_limit < 0:
+            raise ConfigError("CTT retry limit must be >= 0 (or None)")
+        if self.bpq_overflow_timeout is not None \
+                and self.bpq_overflow_timeout <= 0:
+            raise ConfigError("BPQ overflow timeout must be positive "
+                              "(or None)")
 
     def with_overrides(self, **kwargs) -> "SystemConfig":
         """A copy of this config with fields replaced."""

@@ -29,6 +29,7 @@ from repro.mem.backing_store import BackingStore
 from repro.memctrl.controller import MemoryController
 from repro.mcsquare.controller import McSquareController
 from repro.mcsquare.ctt import CopyTrackingTable
+from repro.faults.watchdog import Watchdog
 from repro.interconnect.bus import Interconnect
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatGroup
@@ -64,6 +65,9 @@ class System:
                     parallel_frees=self.config.parallel_frees,
                     bounce_writeback=self.config.bounce_writeback,
                     eager_async_copies=self.config.eager_async_copies,
+                    ctt_retry_cycles=self.config.ctt_retry_cycles,
+                    ctt_retry_limit=self.config.ctt_retry_limit,
+                    bpq_overflow_timeout=self.config.bpq_overflow_timeout,
                 ))
             for mc in self.controllers:
                 mc.peers = [m for m in self.controllers if m is not mc]
@@ -192,3 +196,70 @@ class System:
         """Demand + background DRAM device accesses across channels."""
         return int(sum(mc.channel.stats.counters["accesses"].value
                        for mc in self.controllers))
+
+    def poisoned_lines(self) -> set:
+        """Line addresses an architectural read could observe as poisoned.
+
+        The union of: lines poisoned in memory, cached copies filled from
+        poisoned data, parked BPQ writes carrying poison, and tracked
+        (not-yet-materialized) destinations whose source bytes are
+        poisoned — i.e. everywhere a detected-uncorrectable error has
+        propagated.  Empty on a healthy machine.
+        """
+        lines: set = set(self.backing.poisoned_lines)
+        lines |= self.hierarchy.poisoned_lines
+        for mc in self.controllers:
+            bpq = getattr(mc, "bpq", None)
+            if bpq is not None:
+                for entry in bpq.entries():
+                    if entry.poisoned:
+                        lines.add(entry.line)
+        if self.ctt is not None:
+            for entry in self.ctt.entries:
+                line = entry.dst
+                while line < entry.dst_end:
+                    if self.backing.range_poisoned(
+                            entry.src_for_dst(line), CACHELINE_SIZE):
+                        lines.add(line)
+                    line += CACHELINE_SIZE
+        return lines
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat dict of machine state for watchdog post-mortems.
+
+        Cheap to build (counters and queue depths only, no byte dumps);
+        the watchdog calls it once, when a livelock is detected.
+        """
+        snap: Dict[str, object] = {
+            "cycle": self.sim.now,
+            "events_fired": self.sim.events_fired,
+            "events_pending": self.sim.pending,
+            "queue_labels": self.sim.queue_labels(limit=8),
+        }
+        if self.ctt is not None:
+            snap["ctt_entries"] = len(self.ctt)
+            snap["ctt_occupancy"] = round(self.ctt.occupancy, 3)
+            snap["ctt_tracked_bytes"] = self.ctt.tracked_bytes()
+        for mc in self.controllers:
+            prefix = f"mc{mc.channel_id}"
+            snap[f"{prefix}_wpq"] = mc.wpq_occupancy
+            bpq = getattr(mc, "bpq", None)
+            if bpq is not None:
+                snap[f"{prefix}_bpq"] = len(bpq)
+                snap[f"{prefix}_bpq_overflow"] = len(mc._bpq_overflow)
+                snap[f"{prefix}_ctt_full_stalls"] = \
+                    int(mc._ctt_full_stalls.value)
+        snap["poisoned_lines"] = len(self.poisoned_lines())
+        return snap
+
+    def attach_watchdog(
+        self,
+        check_every: int = params.WATCHDOG_CHECK_EVERY_EVENTS,
+        stall_checks: int = params.WATCHDOG_STALL_CHECKS,
+    ) -> Watchdog:
+        """Arm the simulator's livelock watchdog with System post-mortems."""
+        watchdog = Watchdog(snapshot_fn=self.snapshot,
+                            check_every=check_every,
+                            stall_checks=stall_checks)
+        self.sim.watchdog = watchdog
+        return watchdog

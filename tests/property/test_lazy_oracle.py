@@ -141,3 +141,127 @@ def test_oracle_holds_without_bounce_writeback(steps):
 def test_oracle_holds_with_tiny_structures(steps):
     """A tiny CTT + BPQ forces stalls, async frees, and retries."""
     run_case(steps, bpq_entries=1, ctt_entries=16)
+
+
+# --------------------------------------------------------------- faults
+# The same random programs with detected-uncorrectable (2-bit) DRAM
+# flips interleaved between steps.  The property weakens from equality
+# to *containment*: visible memory may diverge from the oracle only
+# inside the fault's taint cone — the flipped line plus every byte a
+# copy derived from it.  Divergence anywhere else means the injection
+# perturbed machinery it should not have touched.
+
+@st.composite
+def faulty_program_steps(draw):
+    steps = list(draw(program_steps()))
+    for _ in range(draw(st.integers(1, 3))):
+        pos = draw(st.integers(0, len(steps)))
+        line = draw(st.integers(0, REGION // CL - 1)) * CL
+        steps.insert(pos, ("due_flip", line))
+    return steps
+
+
+def run_faulty_case(steps):
+    from repro.faults import FaultInjector
+
+    system = System(small_system())
+    injector = FaultInjector(system, seed=0)
+    base = system.alloc(REGION, align=PAGE_SIZE)
+    oracle = bytearray(REGION)
+    init = bytes((i * 89 + 7) & 0xFF for i in range(256)) * (REGION // 256)
+    system.backing.write(base, init)
+    oracle[:] = init
+    freed = set()
+    tainted = set()   # bytes whose contents may legally diverge
+    flips = [0]
+
+    def taint_flip(rel_line):
+        tainted.update(range(rel_line, rel_line + CL))
+        lo, hi = base + rel_line, base + rel_line + CL
+        # Corrupted source bytes also corrupt every still-tracked
+        # destination mapped from them (the CTT never chains, so one
+        # level of redirection covers the whole cone).
+        for entry in system.ctt.entries:
+            start = max(lo, entry.src)
+            stop = min(hi, entry.src + entry.size)
+            for s in range(start, stop):
+                d = entry.dst + (s - entry.src) - base
+                if 0 <= d < REGION:
+                    tainted.add(d)
+
+    def program():
+        for step in steps:
+            if step[0] == "due_flip":
+                _, rel_line = step
+                # Settle in-flight MCLAZYs so the CTT mapping is stable
+                # when the taint cone is computed.
+                yield ops.mfence()
+                injector.flip_bits(base + rel_line, bits=2)
+                flips[0] += 1
+                taint_flip(rel_line)
+            elif step[0] in ("lazy_copy", "eager_copy"):
+                _, dst, src, size = step
+                src_taint = [src + i in tainted for i in range(size)]
+                for i in range(size):
+                    if src + i in freed:
+                        freed.add(dst + i)
+                    else:
+                        freed.discard(dst + i)
+                    if src_taint[i]:
+                        tainted.add(dst + i)
+                    else:
+                        tainted.discard(dst + i)
+                oracle[dst:dst + size] = oracle[src:src + size]
+                if step[0] == "lazy_copy":
+                    yield from memcpy_lazy_ops(system, base + dst,
+                                               base + src, size)
+                else:
+                    yield from memcpy_ops(system, base + dst,
+                                          base + src, size)
+            elif step[0] == "store":
+                _, addr, data = step
+                oracle[addr:addr + 8] = data
+                for i in range(8):
+                    freed.discard(addr + i)
+                    tainted.discard(addr + i)
+                yield ops.store(base + addr, 8, data=data)
+            elif step[0] == "load":
+                _, addr = step
+                value = yield ops.load(base + addr, 8, blocking=True)
+                if all(addr + i not in freed and addr + i not in tainted
+                       for i in range(8)):
+                    assert value == bytes(oracle[addr:addr + 8]), \
+                        f"load at {addr:#x} saw stale data"
+            elif step[0] == "clwb_range":
+                _, start, lines = step
+                for i in range(lines):
+                    yield ops.clwb(base + start + i * CL)
+                yield ops.mfence()
+            else:
+                _, addr, size = step
+                freed.update(range(addr, addr + size))
+                yield ops.mcfree(base + addr, size)
+                yield ops.mfence()
+        yield ops.mfence()
+
+    system.run_program(program(), max_cycles=200_000_000)
+    system.drain()
+    system.ctt.verify_invariants()
+    detected = (system.stats.children["faults"].children["ecc"]
+                .counters["detected"].value)
+    assert detected == flips[0]
+    visible = system.read_memory(base, REGION)
+    for i in range(REGION):
+        if i in freed:
+            continue
+        if visible[i] == oracle[i]:
+            continue
+        assert i in tainted, (
+            f"byte {i:#x} diverged outside the fault's taint cone: "
+            f"visible={visible[i]:#x} oracle={oracle[i]:#x}")
+
+
+@settings(max_examples=15, deadline=None)
+@given(faulty_program_steps())
+def test_due_faults_stay_contained(steps):
+    run_faulty_case(steps)

@@ -133,3 +133,73 @@ class TestLivelockGuard:
         sim.schedule(1, rearm)
         with pytest.raises(SimulationError):
             sim.run(max_events=1000)
+
+    def test_livelock_error_is_a_simulation_error(self):
+        from repro.common.errors import LivelockError
+
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(1, rearm)
+        with pytest.raises(LivelockError):
+            sim.run(max_events=1000)
+
+    def test_budget_spent_on_final_event_does_not_raise(self):
+        # Exactly max_events fired and the queue is empty: the run
+        # finished, it did not livelock.
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        sim.run(max_events=5)
+        assert len(fired) == 5
+
+    def test_budget_with_work_remaining_raises(self):
+        sim = Simulator()
+        for i in range(6):
+            sim.schedule(i + 1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+
+
+class TestTimeMonotonicity:
+    def _poisoned_queue(self):
+        # Force a from-the-past event behind the scheduling API's back
+        # (a buggy component mutating `when` could do the same).
+        import heapq
+
+        from repro.sim.engine import Event
+
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.now == 10
+        heapq.heappush(sim._queue, Event(3, 999, lambda: None))
+        return sim
+
+    def test_run_rejects_backwards_time(self):
+        sim = self._poisoned_queue()
+        with pytest.raises(SimulationError, match="backwards"):
+            sim.run()
+
+    def test_step_rejects_backwards_time(self):
+        sim = self._poisoned_queue()
+        with pytest.raises(SimulationError, match="backwards"):
+            sim.step()
+
+    def test_queue_labels_histogram(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None, label="alpha")
+        sim.schedule(2, lambda: None, label="alpha")
+        sim.schedule(3, lambda: None, label="beta")
+        cancelled = sim.schedule(4, lambda: None, label="gamma")
+        cancelled.cancel()
+        sim.schedule(5, lambda: None)
+        labels = sim.queue_labels()
+        assert labels["alpha"] == 2
+        assert labels["beta"] == 1
+        assert labels["<unlabelled>"] == 1
+        assert "gamma" not in labels
+        assert list(sim.queue_labels(limit=1)) == ["alpha"]

@@ -362,3 +362,72 @@ class TestChainedSourceWrites:
         # Nothing left parked: all BPQ entries drained.
         for mc in system.controllers:
             assert len(mc.bpq) == 0
+
+
+class TestGracefulDegradation:
+    def _many_copies(self, system, count=8):
+        pairs = []
+
+        def prog():
+            for i in range(count):
+                src = system.alloc(4096, align=4096)
+                dst = system.alloc(4096, align=4096)
+                system.backing.fill(src, 4096, 0x60 + i)
+                pairs.append((dst, 0x60 + i))
+                yield from memcpy_lazy_ops(system, dst, src, 4096)
+
+        system.run_program(prog())
+        system.drain()
+        return pairs
+
+    def test_saturated_ctt_falls_back_to_eager_copy(self):
+        # A 2-entry table with a zero retry budget: the first blocked
+        # MCLAZY degrades to an MC-side eager copy instead of stalling.
+        system = lazy_system(ctt_entries=2, ctt_retry_limit=0)
+        pairs = self._many_copies(system)
+        assert mc_stat(system, "ctt_full_fallbacks") >= 1
+        # Degraded or not, every copy is bit-identical.
+        for dst, val in pairs:
+            assert system.read_memory(dst, 4096) == bytes([val]) * 4096
+
+    def test_default_config_never_degrades(self):
+        # Same pressure, but the paper's stall-forever semantics: the
+        # copies complete through retries and background draining, and
+        # the fallback paths never fire.
+        system = lazy_system(ctt_entries=2)
+        pairs = self._many_copies(system)
+        assert mc_stat(system, "ctt_full_fallbacks") == 0
+        assert mc_stat(system, "bpq_overflow_fallbacks") == 0
+        for dst, val in pairs:
+            assert system.read_memory(dst, 4096) == bytes([val]) * 4096
+
+    def test_generous_retry_budget_recovers_without_fallback(self):
+        # With a real budget the backoff gives the async free engine
+        # time to drain the table, so the lazy path still wins.
+        system = lazy_system(ctt_entries=4, ctt_retry_limit=64)
+        pairs = self._many_copies(system)
+        assert mc_stat(system, "ctt_full_fallbacks") == 0
+        for dst, val in pairs:
+            assert system.read_memory(dst, 4096) == bytes([val]) * 4096
+
+    def test_bpq_overflow_deadline_resolves_stuck_write(self):
+        system = lazy_system(bpq_entries=1, bpq_overflow_timeout=10)
+        src = system.alloc(4096, align=4096)
+        dst = system.alloc(4096, align=4096)
+        fill(system, src, 4096, 0x11)
+
+        def prog():
+            yield from memcpy_lazy_ops(system, dst, src, 4096)
+            for off in range(0, 4096, CL):
+                yield ops.store(src + off, CL, data=b"\x33" * CL)
+            for off in range(0, 4096, CL):
+                yield ops.clwb(src + off)
+            yield ops.mfence()
+
+        system.run_program(prog())
+        system.drain()
+        # Overflowed parked writes hit their deadline and resolved their
+        # dependents eagerly; neither copy nor writes were lost.
+        assert mc_stat(system, "bpq_overflow_fallbacks") >= 1
+        assert system.read_memory(dst, 4096) == b"\x11" * 4096
+        assert system.read_memory(src, 4096) == b"\x33" * 4096

@@ -70,3 +70,40 @@ class TestVerify:
     def test_baseline_system_trivially_consistent(self):
         system = System(small_system(mcsquare_enabled=False))
         ConsistencyChecker(system).verify()
+
+
+class TestFailureDiagnostics:
+    def _corrupt(self, system):
+        system.ctt._add(CttEntry(0x10000, 0x20000, 128))
+        system.ctt._add(CttEntry(0x10040, 0x30000, 128))
+
+    def test_failure_carries_cycle_and_check_number(self):
+        system = System(small_system())
+        self._corrupt(system)
+        checker = ConsistencyChecker(system)
+        with pytest.raises(ConsistencyError, match=r"cycle \d+, check #1"):
+            checker.verify()
+
+    def test_check_number_counts_prior_passes(self):
+        system = System(small_system())
+        checker = ConsistencyChecker(system)
+        checker.verify()
+        checker.verify()
+        self._corrupt(system)
+        with pytest.raises(ConsistencyError, match=r"check #3"):
+            checker.verify()
+
+    def test_periodic_failure_detaches_cleanly(self):
+        system = System(small_system())
+        checker = ConsistencyChecker(system)
+        checker.attach(every_cycles=100)
+        self._corrupt(system)
+        # Keep the queue busy past the first check so the tick fires.
+        for i in range(1, 6):
+            system.sim.schedule(100 * i, lambda: None, label="filler")
+        with pytest.raises(ConsistencyError):
+            system.sim.run()
+        # The failed tick cleared its event: detach() has nothing stale
+        # to cancel and a later attach() starts fresh.
+        assert checker._event is None
+        checker.detach()
