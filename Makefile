@@ -1,0 +1,27 @@
+# Convenience entry points; CI runs the same commands (.github/workflows/ci.yml).
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test analyze sarif lint baseline all
+
+all: analyze test
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+analyze:
+	$(PYTHON) -m repro.analysis src/repro
+
+sarif:
+	$(PYTHON) -m repro.analysis src/repro --format sarif --output mc2-analyze.sarif || true
+	@echo "wrote mc2-analyze.sarif"
+
+# Requires the lint extra: pip install -e .[lint]
+lint: analyze
+	ruff check src tests
+	mypy
+
+# Re-record grandfathered findings (policy: keep this empty; add a
+# justification string to any entry you must keep).
+baseline:
+	$(PYTHON) -m repro.analysis src/repro --write-baseline

@@ -1,0 +1,99 @@
+"""Grandfathered-finding baseline.
+
+The CI gate fails on *new* findings only: anything recorded in the
+checked-in baseline file is reported as baselined and does not affect
+the exit code.  Fingerprints deliberately exclude line numbers so that
+unrelated edits above a grandfathered finding do not churn the baseline;
+a finding is identified by its rule, file, the normalized text of the
+offending line, and an occurrence index (for identical lines repeated in
+one file).
+
+The project policy (ISSUE 2) is that the baseline ships empty or
+near-empty: real violations get fixed, and the rare deliberate exception
+carries a ``justification`` string in the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.core import Finding
+from repro.common.errors import ConfigError
+
+VERSION = 1
+
+
+def _normalize(snippet: str) -> str:
+    return " ".join(snippet.split())
+
+
+def fingerprints(findings: Iterable[Finding]) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    Occurrence indices are assigned in (path, line) order so the same
+    set of findings always produces the same fingerprints regardless of
+    rule execution order.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    for finding in ordered:
+        key = (finding.rule, finding.path.replace(os.sep, "/"),
+               _normalize(finding.snippet))
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha1(
+            "|".join((*key, str(index))).encode("utf-8")).hexdigest()
+        out.append((finding, digest))
+    return out
+
+
+def load(path: str) -> Dict[str, Dict[str, str]]:
+    """Read a baseline file: fingerprint -> entry dict.
+
+    A missing file is an empty baseline; a malformed one is a hard
+    configuration error (a truncated baseline must not silently admit
+    every finding).
+    """
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        entries = data["entries"]
+        return {e["fingerprint"]: e for e in entries}
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed baseline file {path!r}: {exc}")
+
+
+def save(path: str, findings: Iterable[Finding]) -> int:
+    """Write a baseline covering ``findings``; returns the entry count."""
+    entries = [
+        {
+            "fingerprint": digest,
+            "rule": finding.rule,
+            "path": finding.path.replace(os.sep, "/"),
+            "snippet": _normalize(finding.snippet),
+            "justification": "",
+        }
+        for finding, digest in fingerprints(findings)
+    ]
+    payload = {"version": VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply(findings: List[Finding],
+          baseline: Dict[str, Dict[str, str]]) -> List[Finding]:
+    """Return findings with ``baselined`` set where fingerprints match."""
+    from dataclasses import replace
+
+    out: List[Finding] = []
+    for finding, digest in fingerprints(findings):
+        out.append(replace(finding, baselined=digest in baseline))
+    return out

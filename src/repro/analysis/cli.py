@@ -1,0 +1,158 @@
+"""Command-line driver: ``python -m repro.analysis`` / ``mc2-analyze``.
+
+Exit codes: 0 — clean (no active findings); 1 — active findings; 2 —
+usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis import engine, sarif
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.core import all_rules
+from repro.common.errors import ConfigError
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _default_paths() -> List[str]:
+    """``src/repro`` relative to cwd, else the installed package dir."""
+    candidate = os.path.join("src", "repro")
+    if os.path.isdir(candidate):
+        return [candidate]
+    return [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def _text_report(report: engine.Report, show_suppressed: bool) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        tag = ""
+        if finding.suppressed:
+            tag = " [suppressed]"
+        elif finding.baselined:
+            tag = " [baselined]"
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.message}{tag}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    active = len(report.active)
+    lines.append(
+        f"{report.files_analyzed} files analyzed: {active} finding(s)"
+        + (f", {len(report.baselined)} baselined" if report.baselined else "")
+        + (f", {len(report.suppressed)} suppressed"
+           if report.suppressed else ""))
+    return "\n".join(lines) + "\n"
+
+
+def _json_report(report: engine.Report) -> str:
+    payload = {
+        "files_analyzed": report.files_analyzed,
+        "ok": report.ok,
+        "findings": [
+            {
+                "rule": f.rule, "message": f.message, "path": f.path,
+                "line": f.line, "col": f.col, "snippet": f.snippet,
+                "suppressed": f.suppressed, "baselined": f.baselined,
+            }
+            for f in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name:<22} {rule.summary}")
+    return "\n".join(lines) + "\n"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mc2-analyze",
+        description="Simulator-invariant static analyzer for the (MC)^2 "
+                    "reproduction: determinism lint, event-safety rules, "
+                    "poison-taint completeness.")
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories "
+        "(default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE} when present)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into the baseline file and exit 0")
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include noqa-suppressed findings in the text report")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the analyzer CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+
+    paths = args.paths or _default_paths()
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    select = (args.select.split(",") if args.select else None)
+
+    try:
+        report = engine.run(paths, baseline_path=baseline_path,
+                            select=select)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        count = baseline_mod.save(
+            target, [f for f in report.findings if not f.suppressed])
+        print(f"wrote {count} fingerprint(s) to {target}")
+        return 0
+
+    if args.format == "sarif":
+        _emit(sarif.dumps(report.findings), args.output)
+    elif args.format == "json":
+        _emit(_json_report(report), args.output)
+    else:
+        _emit(_text_report(report, args.show_suppressed), args.output)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Analyzer driver: collect files, parse once, run every rule.
+
+Splitting policy from mechanism: rules (:mod:`repro.analysis.rules`)
+know what to look for, this module knows how to walk a source tree,
+share parsed ASTs, apply ``# noqa`` suppressions and the baseline, and
+decide the gate verdict.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import noqa
+from repro.analysis.core import Finding, Module, all_rules
+from repro.common.errors import ConfigError
+
+#: Directory basenames never analyzed.
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def _guess_package(path: str) -> str:
+    """Dotted module name from a file path (best effort).
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``; falls back to
+    the stem when no ``repro`` component is present.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        anchor = parts.index("repro")
+        dotted = parts[anchor:-1] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in SKIP_DIRS)
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            raise ConfigError(f"no such file or directory: {path!r}")
+    return sorted(dict.fromkeys(out))
+
+
+def parse_modules(files: Iterable[str]) -> List[Module]:
+    """Parse every file; syntax errors become MC2000 findings later."""
+    modules: List[Module] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            # Surfaced by the driver as an MC2000 parse failure.
+            bad = ast.Module(body=[], type_ignores=[])
+            module = Module(path=path, source=source, tree=bad,
+                            lines=source.splitlines(),
+                            package=_guess_package(path))
+            module.parse_error = exc  # type: ignore[attr-defined]
+            modules.append(module)
+            continue
+        modules.append(Module(path=path, source=source, tree=tree,
+                              lines=source.splitlines(),
+                              package=_guess_package(path)))
+    return modules
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that gate (not suppressed, not baselined)."""
+        return [f for f in self.findings
+                if not f.suppressed and not f.baselined]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def ok(self) -> bool:
+        """True when no active findings remain — the CI gate."""
+        return not self.active
+
+
+def run(paths: Sequence[str], baseline_path: Optional[str] = None,
+        select: Optional[Sequence[str]] = None) -> Report:
+    """Analyze ``paths`` and return a :class:`Report`.
+
+    ``select`` restricts to the given rule codes (all rules otherwise).
+    """
+    files = collect_files(paths)
+    modules = parse_modules(files)
+    rules = all_rules()
+    if select:
+        wanted = {code.upper() for code in select}
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise ConfigError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.code in wanted]
+
+    findings: List[Finding] = []
+    for module in modules:
+        error = getattr(module, "parse_error", None)
+        if error is not None:
+            findings.append(Finding(
+                rule="MC2000", message=f"syntax error: {error.msg}",
+                path=module.path, line=error.lineno or 1,
+                col=(error.offset or 1) - 1))
+            continue
+        for rule in rules:
+            findings.extend(rule.check_module(module))
+    parsed = [m for m in modules if getattr(m, "parse_error", None) is None]
+    for rule in rules:
+        findings.extend(rule.check_project(parsed))
+
+    # Per-line suppressions.
+    tables = {m.path: noqa.suppressions(m.lines) for m in modules}
+    findings = [
+        replace(f, suppressed=noqa.is_suppressed(
+            f.rule, f.line, tables.get(f.path, {})))
+        for f in findings
+    ]
+
+    # Baseline.
+    if baseline_path:
+        known = baseline_mod.load(baseline_path)
+        if known:
+            findings = baseline_mod.apply(findings, known)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return Report(findings=findings, files_analyzed=len(files))

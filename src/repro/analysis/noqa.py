@@ -1,0 +1,52 @@
+"""Per-line suppression comments.
+
+A finding is suppressed when the physical line it anchors to carries a
+``# noqa`` comment — either bare (suppresses every rule on that line) or
+listing codes (``# noqa: MC2003`` or ``# noqa: MC2003, MC2104``).  The
+codes are matched case-insensitively.  Suppressions are surfaced in the
+report (``--show-suppressed``) rather than silently swallowed, so a
+stale ``noqa`` is visible during review.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+#: Marker meaning "every rule suppressed on this line".
+ALL = frozenset({"*"})
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Za-z0-9, ]+))?", re.IGNORECASE)
+
+
+def suppressions(lines: List[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the set of suppressed rule codes.
+
+    Bare ``# noqa`` maps to :data:`ALL`.  Lines without a marker are
+    absent from the mapping.
+    """
+    out: Dict[int, FrozenSet[str]] = {}
+    for idx, text in enumerate(lines, start=1):
+        if "noqa" not in text.lower():
+            continue
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[idx] = ALL
+        else:
+            parsed = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip())
+            out[idx] = parsed or ALL
+    return out
+
+
+def is_suppressed(rule: str, line: int,
+                  table: Dict[int, FrozenSet[str]]) -> bool:
+    """Whether ``rule`` is suppressed on ``line`` by ``table``."""
+    codes = table.get(line)
+    if codes is None:
+        return False
+    return codes is ALL or "*" in codes or rule.upper() in codes

@@ -1,0 +1,3 @@
+"""Rule modules self-register with the core registry on import."""
+
+from repro.analysis.rules import determinism, eventsafety, taint  # noqa: F401

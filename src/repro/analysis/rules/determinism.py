@@ -1,0 +1,256 @@
+"""Determinism rules (MC2001-MC2005).
+
+A cycle-accurate simulation must produce bit-identical results for a
+given seed: the paper's bounce/materialize/BPQ claims are validated by
+differential oracles that diff lazy against eager runs, and any hidden
+source of run-to-run variation (wall-clock time, the process-global RNG,
+unordered container iteration, float round-off in cycle math, mutable
+default arguments aliased across instances) silently invalidates them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.core import (Finding, Module, Rule, ScopedVisitor,
+                                 dotted_name, module_imports, register)
+
+#: Wall-clock reads that leak host time into simulated behaviour.
+_WALLCLOCK = {
+    "time": {"time", "time_ns", "perf_counter", "perf_counter_ns",
+             "monotonic", "monotonic_ns", "process_time", "clock"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+#: ``random.<fn>`` calls that consume the process-global RNG stream.
+_GLOBAL_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "getrandbits", "seed",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """MC2001: no wall-clock time in simulation code."""
+
+    code = "MC2001"
+    name = "wall-clock-time"
+    summary = "simulation code must not read host wall-clock time"
+    rationale = ("Simulated behaviour keyed off time.time()/datetime.now() "
+                 "varies run to run, breaking the differential oracles; the "
+                 "only clock is Simulator.now.")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        imports = module_imports(module.tree)
+        findings: List[Finding] = []
+        rule = self
+
+        qualified = {f"time.{fn}" for fn in _WALLCLOCK["time"]}
+
+        class Visitor(ScopedVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    chain = dotted_name(func)
+                    root = chain.split(".")[0]
+                    origin = imports.get(root)
+                    clock_attrs = (
+                        _WALLCLOCK["time"] if origin == "time"
+                        else _WALLCLOCK["datetime"]
+                        if origin in ("datetime", "datetime.datetime")
+                        else ())
+                    if func.attr in clock_attrs and not self.is_shadowed(root):
+                        findings.append(rule.finding(
+                            module, node,
+                            f"wall-clock read {chain}() in simulation "
+                            f"code; use the simulator clock"))
+                elif isinstance(func, ast.Name):
+                    origin = imports.get(func.id)
+                    if origin in qualified and not self.is_shadowed(func.id):
+                        findings.append(rule.finding(
+                            module, node,
+                            f"wall-clock read {func.id}() (from {origin}); "
+                            f"use the simulator clock"))
+                self.generic_visit(node)
+
+        Visitor().visit(module.tree)
+        return iter(findings)
+
+
+@register
+class GlobalRandomRule(Rule):
+    """MC2002: no process-global or unseeded randomness."""
+
+    code = "MC2002"
+    name = "unseeded-random"
+    summary = "use an explicitly seeded random.Random instance"
+    rationale = ("The module-level RNG is shared process state: any other "
+                 "consumer shifts the stream and changes the simulation. "
+                 "Every component takes a seed and owns its generator "
+                 "(see repro.workloads.common.rng).")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        imports = module_imports(module.tree)
+        findings: List[Finding] = []
+        rule = self
+
+        class Visitor(ScopedVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    root_node = func.value
+                    if (isinstance(root_node, ast.Name)
+                            and imports.get(root_node.id) == "random"
+                            and not self.is_shadowed(root_node.id)):
+                        if func.attr in _GLOBAL_RANDOM:
+                            findings.append(rule.finding(
+                                module, node,
+                                f"process-global random.{func.attr}(); "
+                                f"construct random.Random(seed) instead"))
+                        elif (func.attr in ("Random", "SystemRandom")
+                                and not node.args and not node.keywords):
+                            findings.append(rule.finding(
+                                module, node,
+                                f"random.{func.attr}() without a seed is "
+                                f"OS-entropy seeded; pass an explicit seed"))
+                self.generic_visit(node)
+
+        Visitor().visit(module.tree)
+        return iter(findings)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically a set: literal, comprehension, or set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """MC2003: no iteration over unordered sets in simulation logic."""
+
+    code = "MC2003"
+    name = "unordered-iteration"
+    summary = "iterating a set has no defined order; sort it first"
+    rationale = ("Arbitration, event scheduling, and victim selection that "
+                 "walk a set make decisions in hash order — stable within "
+                 "one interpreter but not a *specified* order, and one "
+                 "str/object key makes it PYTHONHASHSEED-dependent. "
+                 "Wrap the iterable in sorted() with an explicit key.")
+
+    #: Attributes known to hold sets in this codebase.
+    KNOWN_SET_ATTRS = {"poisoned_lines"}
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        rule = self
+
+        def check_iter(node: ast.AST, iterable: ast.AST) -> None:
+            if _is_set_expr(iterable):
+                findings.append(rule.finding(
+                    module, node,
+                    "iteration over an unordered set expression; "
+                    "wrap in sorted(...)"))
+            elif (isinstance(iterable, ast.Attribute)
+                    and iterable.attr in rule.KNOWN_SET_ATTRS):
+                findings.append(rule.finding(
+                    module, node,
+                    f"iteration over set attribute .{iterable.attr}; "
+                    f"wrap in sorted(...)"))
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                check_iter(node, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    check_iter(node, gen.iter)
+        return iter(findings)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """MC2004: no float equality in cycle arithmetic."""
+
+    code = "MC2004"
+    name = "float-equality"
+    summary = "== / != on float-valued expressions is round-off fragile"
+    rationale = ("Cycle math must stay integral; the instant a latency is "
+                 "divided, equality comparisons become round-off lotteries "
+                 "that can flip an arbitration decision between hosts. "
+                 "Compare integers, or use explicit tolerances.")
+
+    def _is_floaty(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._is_floaty(node.left) or self._is_floaty(node.right)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id == "float"
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floaty(node.operand)
+        return False
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, (lhs, rhs) in zip(node.ops,
+                                      zip(operands, operands[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_floaty(lhs) or self._is_floaty(rhs):
+                    yield self.finding(
+                        module, node,
+                        "float equality comparison; compare integers or "
+                        "use an explicit tolerance")
+
+
+#: Call names whose results are freshly-allocated mutables.
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "deque",
+                      "defaultdict", "OrderedDict", "Counter"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    """MC2005: no mutable default arguments."""
+
+    code = "MC2005"
+    name = "mutable-default"
+    summary = "mutable defaults alias state across calls and instances"
+    rationale = ("A list/dict/set default is created once at def time: two "
+                 "SimObjects sharing one accidental default queue is a "
+                 "classic cross-run heisenbug. Default to None and "
+                 "allocate inside the body.")
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_FACTORIES
+        return False
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument on {label}(); use None "
+                        f"and allocate per call")

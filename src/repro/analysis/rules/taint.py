@@ -1,0 +1,212 @@
+"""Poison-taint completeness pass (MC2301).
+
+PR 1 introduced line-granular *poison*: a detected-uncorrectable ECC
+error marks its cacheline known-bad, and every data-movement path —
+bounce reconstruction, materialization, BPQ park/drain, eager fallback —
+must carry that mark with the bytes so corruption is contained, never
+laundered back into clean data.  The containment oracle can only catch a
+path that a test exercises; this pass closes the gap *statically* by
+flagging any function that moves functional line data without ever
+consulting or propagating poison state.
+
+The analysis is a conservative interprocedural reachability walk rather
+than a full dataflow engine:
+
+1. Every function/method in the poison-critical packages (``mcsquare``,
+   ``cache``, ``mem``, ``memctrl``, ``faults``) is summarized: does it
+   *read* line data (``read``/``read_line``/``.data`` access), does it
+   *write* line data (``write_line``, a backing/store ``write``, or a
+   ``.data`` attribute store), and does it *touch* poison state (any
+   reference to the poison vocabulary: ``poison``, ``poisoned``,
+   ``range_poisoned`` …)?
+2. A call graph is built by name matching within those packages and
+   poison-awareness is propagated through it — a function that delegates
+   movement to a poison-aware helper is itself safe.
+3. The data primitives themselves (``BackingStore.read*/write*``) do
+   **not** confer awareness on their callers: ``write_line`` clears
+   poison on overwrite, so a caller moving *derived* bytes must
+   re-poison explicitly — exactly the mistake this pass exists to catch.
+
+A function that both reads and writes line data and is not
+poison-aware is flagged.  False positives are expected to be rare and
+carry a ``# noqa: MC2301`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.core import Finding, Module, Rule, register
+
+#: Packages whose functions move functional line data.
+TARGET_PACKAGES = (
+    "repro.mcsquare", "repro.cache", "repro.mem", "repro.memctrl",
+    "repro.faults",
+)
+
+#: Identifiers that constitute "touching poison state".
+POISON_TOKENS = {
+    "poison", "poisoned", "clear_poison", "line_poisoned",
+    "range_poisoned", "poisoned_lines", "_poisoned", "propagate_poison",
+}
+
+#: Method names that read functional line data.
+READ_PRIMITIVES = {"read", "read_line"}
+
+#: Method names that write functional line data.
+WRITE_PRIMITIVES = {"write", "write_line"}
+
+#: Primitive methods excluded from conferring poison awareness (their
+#: poison handling covers *their own* write, not the caller's derivation).
+NON_CONFERRING = READ_PRIMITIVES | WRITE_PRIMITIVES | {"fill", "copy"}
+
+
+def _receiver_text(node: ast.Attribute) -> str:
+    try:
+        return ast.unparse(node.value)
+    except Exception:  # pragma: no cover - unparse of exotic nodes
+        return ""
+
+
+def _is_data_write_call(node: ast.Call) -> bool:
+    """``X.write_line(...)`` always; ``X.write(...)`` for memory-ish X."""
+    if not isinstance(node.func, ast.Attribute):
+        return False
+    attr = node.func.attr
+    if attr == "write_line":
+        return True
+    if attr == "write":
+        recv = _receiver_text(node.func).lower()
+        return any(token in recv for token in ("backing", "store", "mem"))
+    return False
+
+
+def _is_data_read_call(node: ast.Call) -> bool:
+    if not isinstance(node.func, ast.Attribute):
+        return False
+    attr = node.func.attr
+    if attr == "read_line":
+        return True
+    if attr == "read":
+        recv = _receiver_text(node.func).lower()
+        return any(token in recv for token in ("backing", "store", "mem"))
+    return False
+
+
+@dataclass
+class FunctionSummary:
+    """Flow-insensitive facts about one function."""
+
+    qualname: str                  # e.g. "repro.mem.backing_store.BackingStore.copy"
+    name: str                      # bare function name
+    module: Module
+    node: ast.AST
+    reads_data: bool = False
+    writes_data: bool = False
+    touches_poison: bool = False
+    callees: Set[str] = field(default_factory=set)   # bare names called
+    aware: bool = False            # fixed point of poison awareness
+
+
+def _summarize(module: Module, func: ast.AST, qualname: str) -> FunctionSummary:
+    summary = FunctionSummary(qualname=qualname, name=func.name,
+                              module=module, node=func)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if _is_data_write_call(node):
+                summary.writes_data = True
+            if _is_data_read_call(node):
+                summary.reads_data = True
+            callee = None
+            if isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                callee = node.func.id
+            if callee:
+                summary.callees.add(callee)
+        if isinstance(node, ast.Attribute):
+            if node.attr in POISON_TOKENS:
+                summary.touches_poison = True
+            elif node.attr == "data" and isinstance(node.ctx, ast.Load):
+                # Reading another component's buffered line bytes (BPQ
+                # entries, packets) is a data *source* too.
+                summary.reads_data = True
+            elif node.attr == "data" and isinstance(node.ctx, ast.Store):
+                summary.writes_data = True
+        if isinstance(node, ast.Name) and node.id in POISON_TOKENS:
+            summary.touches_poison = True
+    return summary
+
+
+def collect_summaries(modules: List[Module]) -> List[FunctionSummary]:
+    """Summaries for every function in the poison-critical packages."""
+    summaries: List[FunctionSummary] = []
+    for module in modules:
+        if not any(module.package == pkg or module.package.startswith(pkg + ".")
+                   for pkg in TARGET_PACKAGES):
+            continue
+
+        def walk(body, prefix: str) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}.{node.name}"
+                    summaries.append(_summarize(module, node, qualname))
+                    walk(node.body, qualname)
+                elif isinstance(node, ast.ClassDef):
+                    walk(node.body, f"{prefix}.{node.name}")
+
+        walk(module.tree.body, module.package)
+    return summaries
+
+
+def propagate_awareness(summaries: List[FunctionSummary]) -> None:
+    """Fixed-point: a function is aware if it or a callee touches poison.
+
+    Callees resolve by bare name across the target packages (a sound
+    over-approximation for this codebase's method-call style), except
+    the raw data primitives, which never confer awareness.
+    """
+    by_name: Dict[str, List[FunctionSummary]] = {}
+    for summary in summaries:
+        by_name.setdefault(summary.name, []).append(summary)
+        summary.aware = summary.touches_poison
+
+    changed = True
+    while changed:
+        changed = False
+        for summary in summaries:
+            if summary.aware:
+                continue
+            for callee in summary.callees:
+                if callee in NON_CONFERRING:
+                    continue
+                if any(target.aware for target in by_name.get(callee, ())):
+                    summary.aware = True
+                    changed = True
+                    break
+
+
+@register
+class PoisonTaintRule(Rule):
+    """MC2301: data movement must propagate (or consciously clear) poison."""
+
+    code = "MC2301"
+    name = "poison-taint"
+    summary = "function moves line data without consulting poison state"
+    rationale = ("Every new data path through mcsquare/cache/mem must keep "
+                 "the PR 1 containment invariant: bytes derived from a "
+                 "poisoned line stay marked. A mover that never mentions "
+                 "poison silently launders corruption past the oracle.")
+
+    def check_project(self, modules: List[Module]) -> Iterator[Finding]:
+        summaries = collect_summaries(modules)
+        propagate_awareness(summaries)
+        for summary in summaries:
+            if summary.reads_data and summary.writes_data and not summary.aware:
+                yield self.finding(
+                    summary.module, summary.node,
+                    f"{summary.qualname} moves functional line data but "
+                    f"never propagates or checks poison; thread the "
+                    f"source's poison state to the destination")

@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 output for the static analyzer.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; the CI workflow uploads this as an artifact so findings
+render inline on the pull request.  Only the small, stable subset of the
+schema is emitted: tool metadata with the rule catalogue, one result per
+finding with a physical location, and the baseline fingerprint under
+``partialFingerprints`` so downstream tooling can track persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.core import Finding, all_rules
+
+SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+          "Schemata/sarif-schema-2.1.0.json")
+VERSION = "2.1.0"
+TOOL_NAME = "mc2-analyze"
+
+
+def _level(finding: Finding) -> str:
+    if finding.suppressed or finding.baselined:
+        return "note"
+    return "error"
+
+
+def to_sarif(findings: Iterable[Finding]) -> Dict:
+    """Build the SARIF log dict for ``findings``."""
+    findings = list(findings)
+    rules_meta: List[Dict] = []
+    for rule in all_rules():
+        rules_meta.append({
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        })
+    fingerprint_of = {id(f): digest
+                      for f, digest in baseline_mod.fingerprints(findings)}
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _level(finding),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "mc2AnalyzeFingerprint/v1": fingerprint_of[id(finding)],
+            },
+        }
+        if finding.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        elif finding.baselined:
+            result["suppressions"] = [{"kind": "external"}]
+        results.append(result)
+    return {
+        "$schema": SCHEMA,
+        "version": VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "rules": rules_meta,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def dumps(findings: Iterable[Finding]) -> str:
+    """Serialized SARIF log (stable key order)."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True) + "\n"

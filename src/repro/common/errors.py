@@ -7,12 +7,20 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
-class ConfigError(ReproError):
-    """An invalid configuration value was supplied."""
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Also a :class:`ValueError`: callers validating parameters the
+    Pythonic way (``except ValueError``) keep working.
+    """
 
 
-class SimulationError(ReproError):
-    """The simulation reached an inconsistent internal state."""
+class SimulationError(ReproError, RuntimeError):
+    """The simulation reached an inconsistent internal state.
+
+    Also a :class:`RuntimeError`: an escaped simulation invariant is a
+    runtime failure to any harness that does not know the repro types.
+    """
 
 
 class LivelockError(SimulationError):
@@ -31,7 +39,7 @@ class LivelockError(SimulationError):
         self.post_mortem = post_mortem
 
 
-class FaultSpecError(ReproError):
+class FaultSpecError(ConfigError):
     """A fault-injection spec string could not be parsed."""
 
 

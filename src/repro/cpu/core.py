@@ -27,6 +27,7 @@ from typing import Callable, Deque, Generator, Optional
 
 from repro.common import params
 from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import SimulationError
 from repro.isa.ops import Op, OpKind
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatGroup
@@ -102,7 +103,7 @@ class Core:
                     on_finish: Optional[Callable[[int], None]] = None) -> None:
         """Start executing ``program``; ``on_finish(cycle)`` fires at drain."""
         if not self.idle:
-            raise RuntimeError(f"core {self.core_id} is busy")
+            raise SimulationError(f"core {self.core_id} is busy")
         self._gen = program
         self._gen_started = False
         self._exhausted = False
@@ -366,7 +367,7 @@ class Core:
             self._fence = op
             self._try_fence()
         else:  # pragma: no cover - exhaustive
-            raise ValueError(f"unknown op kind {kind}")
+            raise SimulationError(f"unknown op kind {kind}")
         self._schedule_pump()
 
     # -------------------------------------------------------- completion

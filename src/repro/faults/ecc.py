@@ -26,6 +26,7 @@ import enum
 import random
 from typing import Optional
 
+from repro.common.errors import ConfigError
 from repro.common.units import CACHELINE_SIZE, align_down
 from repro.mem.backing_store import BackingStore
 from repro.sim.stats import StatGroup
@@ -42,7 +43,7 @@ class EccOutcome(enum.Enum):
 def classify(bits_flipped: int) -> EccOutcome:
     """SEC-DED outcome for ``bits_flipped`` errors in one line."""
     if bits_flipped <= 0:
-        raise ValueError("need at least one flipped bit")
+        raise ConfigError("need at least one flipped bit")
     if bits_flipped == 1:
         return EccOutcome.CORRECTED
     if bits_flipped == 2:

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.common import params
-from repro.common.errors import LivelockError
+from repro.common.errors import ConfigError, LivelockError
 
 SnapshotFn = Callable[[], Dict[str, object]]
 
@@ -40,9 +40,9 @@ class Watchdog:
                  check_every: int = params.WATCHDOG_CHECK_EVERY_EVENTS,
                  stall_checks: int = params.WATCHDOG_STALL_CHECKS):
         if check_every <= 0:
-            raise ValueError("check_every must be positive")
+            raise ConfigError("check_every must be positive")
         if stall_checks <= 0:
-            raise ValueError("stall_checks must be positive")
+            raise ConfigError("stall_checks must be positive")
         self.snapshot_fn = snapshot_fn
         self.check_every = check_every
         self.stall_checks = stall_checks
@@ -87,7 +87,10 @@ class Watchdog:
                  f"  events observed: {self.total_events}"]
         if self._window_labels:
             lines.append("  recent event labels (current window):")
-            ordered = sorted(self._window_labels.items(), key=lambda kv: -kv[1])
+            # Explicit tie-break on the label: equal-count labels must
+            # not depend on observation (insertion) order.
+            ordered = sorted(self._window_labels.items(),
+                             key=lambda kv: (-kv[1], kv[0]))
             for label, count in ordered[:12]:
                 lines.append(f"    {count:>8}  {label}")
         if self.snapshot_fn is not None:

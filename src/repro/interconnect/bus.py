@@ -57,18 +57,18 @@ class Interconnect:
             if fault is not None:
                 extra_delay, duplicate = fault
                 when += extra_delay
-        self._last_delivery = when
 
         if pkt.ptype in (PacketType.MCLAZY, PacketType.MCFREE):
             # Broadcast: all CTT replicas observe it; the controller that
             # owns the (first line of the) destination performs the shared
-            # mutation and acks the packet.
+            # mutation and acks the packet.  The broadcast latency is part
+            # of the FIFO horizon: a read issued just after an MCLAZY must
+            # observe the CTT update, or it would return the destination
+            # line's stale pre-copy contents and cache them past the
+            # hierarchy's invalidation epoch.
             self._broadcasts.inc()
             when += params.BROADCAST_CYCLES
-            owner = self._owner(pkt.addr)
-            self.sim.schedule_at(when, lambda: owner.receive(pkt),
-                                 label=f"xbar-{pkt.ptype.value}")
-            return
+        self._last_delivery = when
 
         owner = self._owner(pkt.addr)
         self.sim.schedule_at(when, lambda: owner.receive(pkt),

@@ -67,6 +67,8 @@ class BouncePendingQueue:
         self._occupancy_peak = stats.counter("peak_occupancy", "max entries held")
         self._dropped = stats.counter(
             "dropped", "parked writes discarded by fault injection")
+        self._superseded = stats.counter(
+            "superseded", "parked writes overwritten by a newer copy")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -108,6 +110,18 @@ class BouncePendingQueue:
         """Remove and return the parked entry (it is draining to memory)."""
         entry = self._entries.pop(line)
         self._drained.inc()
+        return entry
+
+    def supersede(self, line: int) -> BpqEntry:
+        """Remove a parked entry wholly overwritten by a newer copy.
+
+        An MCLAZY accepted *after* the write parked turns the line into a
+        tracked destination; the copy overwrites the full cacheline, so
+        in MC-observed order (§III-E) the parked bytes must never drain —
+        they would land stale data over the newer copy's tracking.
+        """
+        entry = self._entries.pop(line)
+        self._superseded.inc()
         return entry
 
     def drop(self, line: int) -> BpqEntry:

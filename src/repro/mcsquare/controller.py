@@ -121,6 +121,9 @@ class McSquareController(MemoryController):
         self._poison_propagations = stats.counter(
             "poison_propagations",
             "destination lines poisoned because their source was")
+        self._superseded_parked = stats.counter(
+            "superseded_parked_writes",
+            "parked writes discarded: a newer copy overwrote their line")
 
     # =============================================================== reads
     def _handle_read(self, pkt: Packet) -> None:
@@ -486,13 +489,24 @@ class McSquareController(MemoryController):
         if not result.ok:
             self._maybe_start_async_free(force=True)
             return False
-        # Boundary lines with mixed sources are copied right away.
+        # Parked writes inside the destination range reached the MC
+        # before this MCLAZY, so the copy wholly overwrites them (dst
+        # and size are line-aligned).  Discard them now — draining them
+        # later would land stale bytes over the new tracking and untrack
+        # it (the eager-line resolution below can trigger such a drain).
+        self._discard_superseded_parked(pkt.addr, pkt.size)
+        # Boundary lines with mixed sources are copied right away, in
+        # three phases.  First snapshot every composition from the
+        # pre-insert memory image: a redirected piece may source from a
+        # line that is itself a tracked destination of this same insert
+        # (dst overlapping the redirect target), which the dependent
+        # resolution below legitimately rewrites — and the boundary
+        # lines of one insert may source from each other's pre-write
+        # bytes.  Composing up front reads only, so it cannot disturb
+        # the resolution; writing per-line would read clobbered data.
         when = self.sim.now
+        staged = []
         for dest_line, pieces in result.eager_lines:
-            self._eager_boundary_lines.inc()
-            # The eager write lands in memory now, so any older copy
-            # still sourcing from this line must materialize first.
-            when = self._resolve_dependents_of(dest_line, when, set())
             composed = bytearray(self.backing.read_line(dest_line))
             poisoned = self.backing.line_poisoned(dest_line)
             for src_byte, offset, length in pieces:
@@ -504,7 +518,15 @@ class McSquareController(MemoryController):
                 loc = owner.address_map.decode(
                     align_down(src_byte, CACHELINE_SIZE))
                 when = owner.channel.access(loc, when)
-            self.backing.write_line(dest_line, bytes(composed))
+            staged.append((dest_line, bytes(composed), poisoned))
+        # The eager writes land in memory now, so any older copy still
+        # sourcing from one of these lines must materialize first —
+        # for *every* boundary line, before any eager write.
+        for dest_line, _pieces in result.eager_lines:
+            self._eager_boundary_lines.inc()
+            when = self._resolve_dependents_of(dest_line, when, set())
+        for dest_line, composed, poisoned in staged:
+            self.backing.write_line(dest_line, composed)
             if poisoned:
                 self.backing.poison(dest_line)
                 self._poison_propagations.inc()
@@ -541,8 +563,10 @@ class McSquareController(MemoryController):
         for dest_line in dest_lines:
             if self.ctt.source_overlaps(dest_line, CACHELINE_SIZE):
                 when = self._resolve_dependents_of(dest_line, when, set())
-        # The eager copy overwrites any tracking of the destination.
+        # The eager copy overwrites any tracking of the destination, and
+        # supersedes parked writes inside it just like a CTT insert does.
         self.ctt.remove_dest_range(dst, size)
+        self._discard_superseded_parked(dst, size)
 
         for index, dest_line in enumerate(dest_lines):
             off = index * CACHELINE_SIZE
@@ -552,9 +576,9 @@ class McSquareController(MemoryController):
                 self.backing.poison(dest_line)
                 self._poison_propagations.inc()
             src_start = src + off
-            for src_line in {align_down(src_start, CACHELINE_SIZE),
-                             align_down(src_start + CACHELINE_SIZE - 1,
-                                        CACHELINE_SIZE)}:
+            for src_line in sorted({align_down(src_start, CACHELINE_SIZE),
+                                    align_down(src_start + CACHELINE_SIZE - 1,
+                                               CACHELINE_SIZE)}):
                 owner = self._owner_of(src_line)
                 when = owner.channel.access(
                     owner.address_map.decode(src_line), when)
@@ -617,6 +641,22 @@ class McSquareController(MemoryController):
             pos += take
         return False
 
+    def _discard_superseded_parked(self, dst: int, size: int) -> None:
+        """Drop parked writes that a newly accepted copy wholly overwrites.
+
+        A parked write was received (and acked) before the copy, so in
+        MC-observed order the copy — which rewrites every byte of its
+        line-aligned destination range — supersedes it.  Without this,
+        the parked write would eventually drain through
+        :meth:`_drain_ready_bpq_entries`, land its stale bytes, and
+        untrack the newer copy's destination.
+        """
+        for line in self._lines_of(dst, size):
+            for mc in [self] + self.peers:
+                if mc.bpq.holds(line):
+                    mc.bpq.supersede(line)
+                    self._superseded_parked.inc()
+
     def _parked_entry(self, line: int):
         """The BPQ entry parking ``line`` on any controller, if any."""
         entry = self.bpq.get(line)
@@ -637,17 +677,24 @@ class McSquareController(MemoryController):
             return when
         visited.add(line)
         for dep in self.ctt.dest_lines_for_source(line, CACHELINE_SIZE):
+            if self.ctt.lookup_dest_line(dep) is None:
+                continue
+            when = self._resolve_dependents_of(dep, when, visited)
+            # Re-fetch after recursing: a self-sourcing entry (its source
+            # range overlaps its own destination) appears among its *own*
+            # dependents, so the recursion can materialize and remove it.
+            # A stale pre-recursion snapshot would re-materialize ``dep``
+            # from the bytes the first write just landed.
             entry = self.ctt.lookup_dest_line(dep)
             if entry is None:
                 continue
-            when = self._resolve_dependents_of(dep, when, visited)
             src_start = entry.src_for_dst(dep)
             data = self.backing.read(src_start, CACHELINE_SIZE)
             src_poisoned = self.backing.range_poisoned(src_start,
                                                        CACHELINE_SIZE)
-            for src_line in {align_down(src_start, CACHELINE_SIZE),
-                             align_down(src_start + CACHELINE_SIZE - 1,
-                                        CACHELINE_SIZE)}:
+            for src_line in sorted({align_down(src_start, CACHELINE_SIZE),
+                                    align_down(src_start + CACHELINE_SIZE - 1,
+                                               CACHELINE_SIZE)}):
                 owner = self._owner_of(src_line)
                 when = owner.channel.access(
                     owner.address_map.decode(src_line), when)

@@ -34,7 +34,7 @@ from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common import params
-from repro.common.errors import AlignmentError, ConfigError
+from repro.common.errors import AlignmentError, ConfigError, SimulationError
 from repro.common.units import CACHELINE_SIZE, PAGE_SIZE, align_down
 from repro.sim.stats import StatGroup
 
@@ -461,13 +461,13 @@ class CopyTrackingTable:
         prev_dst = -1
         for entry in self._entries:
             if entry.dst < prev_dst:
-                raise AssertionError("CTT not sorted by destination")
+                raise SimulationError("CTT not sorted by destination")
             if entry.dst < prev_end:
-                raise AssertionError(
+                raise SimulationError(
                     f"overlapping destinations at {entry.dst:#x}")
             if entry.size <= 0 or entry.size % CACHELINE_SIZE:
-                raise AssertionError(f"bad entry size {entry.size}")
+                raise SimulationError(f"bad entry size {entry.size}")
             if entry.dst % CACHELINE_SIZE:
-                raise AssertionError("unaligned destination")
+                raise SimulationError("unaligned destination")
             prev_dst = entry.dst
             prev_end = entry.dst_end

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 
 from repro.common import params
+from repro.common.errors import ConfigError
 
 #: Published CACTI anchor point for the paper's configuration.
 ANCHOR_BYTES = params.CTT_ENTRIES * params.CTT_ENTRY_BYTES  # 32 KiB
@@ -47,7 +48,7 @@ def estimate_ctt(entries: int,
                  entry_bytes: int = params.CTT_ENTRY_BYTES) -> SramEstimate:
     """Cost of a CTT with ``entries`` entries, scaled from the anchor."""
     if entries <= 0:
-        raise ValueError("entries must be positive")
+        raise ConfigError("entries must be positive")
     capacity = entries * entry_bytes
     ratio = capacity / ANCHOR_BYTES
     return SramEstimate(

@@ -67,7 +67,9 @@ class ConsistencyChecker:
             return
         try:
             ctt.verify_invariants()
-        except AssertionError as exc:
+        except ConsistencyError:
+            raise
+        except SimulationError as exc:
             raise ConsistencyError(f"CTT invariant broken: {exc}") from exc
         if len(ctt) > ctt.capacity:
             raise ConsistencyError(

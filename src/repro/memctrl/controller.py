@@ -16,7 +16,7 @@ hooks to add CTT and BPQ behaviour.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict
 
 from repro.common import params
 from repro.dram.address_map import AddressMap

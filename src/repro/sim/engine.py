@@ -141,7 +141,9 @@ class Simulator:
             if not event.cancelled:
                 label = event.label or "<unlabelled>"
                 counts[label] = counts.get(label, 0) + 1
-        ordered = sorted(counts.items(), key=lambda kv: -kv[1])
+        # Tie-break equal counts by label so the histogram is a pure
+        # function of the queue contents, not of insertion order.
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
         if limit is not None:
             ordered = ordered[:limit]
         return dict(ordered)

@@ -6,6 +6,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
+from repro.common.errors import ConfigError
 from repro.common.units import CACHELINE_SIZE
 from repro.isa import ops
 from repro.isa.ops import Op
@@ -123,4 +124,4 @@ def make_engine(name: str, system, **kwargs) -> CopyEngine:
         return ZioEngine(system, **kwargs)
     if name == "nocopy":
         return NullCopyEngine(system)
-    raise ValueError(f"unknown engine {name!r}")
+    raise ConfigError(f"unknown engine {name!r}")

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro import System, SystemConfig
+from repro.common.errors import ConfigError
 from repro.common.units import CACHELINE_SIZE, KB
 from repro.isa import ops
 from repro.workloads.common import fill_pattern, make_engine, rng
@@ -37,13 +38,13 @@ class MvccWorkload:
                  read_fraction: float = 0.5,
                  config: Optional[SystemConfig] = None, seed: int = 5):
         if update_kind not in ("rmw", "write", "write_nt"):
-            raise ValueError(f"bad update kind {update_kind!r}")
+            raise ConfigError(f"bad update kind {update_kind!r}")
         config = config or SystemConfig()
         if engine_name in ("memcpy", "zio", "nocopy") \
                 and config.mcsquare_enabled:
             config = config.with_overrides(mcsquare_enabled=False)
         if num_threads > config.num_cpus:
-            raise ValueError("more threads than simulated CPUs")
+            raise ConfigError("more threads than simulated CPUs")
         self.config = config
         self.system = System(config)
         self.engine_name = engine_name
