@@ -2,12 +2,32 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze sarif lint baseline all
+.PHONY: test analyze sarif lint baseline all bench bench-full bench-smoke perf-baseline
 
 all: analyze test
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Regenerate every paper exhibit (quick scale).  REPRO_JOBS sets the
+# sweep worker count; results/.simcache memoizes unchanged points
+# (REPRO_SIMCACHE=off to disable).
+bench:
+	$(PYTHON) -m pytest benchmarks -x -q -p no:cacheprovider
+
+# Paper-sized parameters (slow).
+bench-full:
+	REPRO_SCALE=full $(PYTHON) -m pytest benchmarks -x -q -p no:cacheprovider
+
+# The two representative exhibits CI tracks, plus the events/sec gate
+# against benchmarks/bench-baseline.json.
+bench-smoke:
+	REPRO_JOBS=2 $(PYTHON) -m pytest benchmarks/test_fig12_seq_access.py benchmarks/test_fig21_bpq_sweep.py -x -q -p no:cacheprovider
+	$(PYTHON) -m repro.perf gate
+
+# Re-record the machine-normalized perf baseline (run on an idle box).
+perf-baseline:
+	$(PYTHON) -m repro.perf baseline
 
 analyze:
 	$(PYTHON) -m repro.analysis src/repro

@@ -5,8 +5,22 @@ the same rows/series the paper reports, and writes them to
 ``results/<exhibit>.txt``.  Simulations are deterministic, so every
 benchmark runs pedantically with one round.
 
-Set ``REPRO_SCALE=full`` for paper-sized parameters (slower); the default
-``quick`` scale preserves every trend at a fraction of the wall time.
+Environment knobs (see also README "Performance"):
+
+``REPRO_SCALE``
+    ``quick`` (default) or ``full`` for paper-sized parameters (slower).
+``REPRO_JOBS``
+    Worker processes for multi-point sweeps (default 1 = serial).
+    Sweeps fan out through :func:`repro.perf.runner.sim_map` and merge
+    results in input order, so any job count is bit-identical to serial.
+``REPRO_SIMCACHE``
+    Sweep results are memoized under ``results/.simcache/``, keyed by
+    (function, parameters, scale, source hash) — a warm re-run of an
+    unchanged exhibit costs file reads only.  Set ``REPRO_SIMCACHE=off``
+    to disable; ``python -m repro.perf cache clear`` empties the store.
+
+Each exhibit's wall-clock time is appended to ``results/BENCH_sim.json``
+(the ``exhibits`` section) for before/after comparisons.
 """
 
 import os
@@ -31,6 +45,16 @@ def emit(name: str, rows, title: str) -> None:
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run a deterministic simulation once under pytest-benchmark."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
+    """Run a deterministic simulation once under pytest-benchmark.
+
+    Also records the exhibit's wall time into ``BENCH_sim.json`` so CI
+    can track per-exhibit cost across commits.
+    """
+    from repro.perf.hostclock import host_seconds
+    from repro.perf.profile import record_exhibit
+
+    start = host_seconds()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1, warmup_rounds=0)
+    record_exhibit(fn.__name__, host_seconds() - start)
+    return result

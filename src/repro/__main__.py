@@ -75,9 +75,17 @@ def _cmd_costs(_args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    import os
+
     from repro.analysis import figures as F
     from repro.analysis.figures import format_rows
 
+    # Sweep knobs are read from the environment by sim_map; the flags
+    # just set them for this invocation.
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.no_cache:
+        os.environ["REPRO_SIMCACHE"] = "off"
     name = f"figure{args.number}"
     builder = getattr(F, name, None)
     if builder is None:
@@ -118,6 +126,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("number", help="figure number, e.g. 21 or 16a... "
                      "(see DESIGN.md)")
+    fig.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for sweep points "
+                          "(default: REPRO_JOBS or serial)")
+    fig.add_argument("--no-cache", action="store_true",
+                     help="bypass the persistent sim-result cache "
+                          "(results/.simcache)")
     sub.add_parser("report", help="summarize generated results")
     args = parser.parse_args(argv)
     handlers = {"demo": _cmd_demo, "costs": _cmd_costs,

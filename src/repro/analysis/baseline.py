@@ -30,6 +30,21 @@ def _normalize(snippet: str) -> str:
     return " ".join(snippet.split())
 
 
+def _path_key(path: str) -> str:
+    """Repo-relative, forward-slash path for fingerprinting.
+
+    The analyzer may be invoked with absolute or relative paths; the
+    fingerprint must not depend on which, or a baseline written from
+    ``src/repro`` would not match a run over ``/abs/path/src/repro``.
+    """
+    if os.path.isabs(path):
+        try:
+            path = os.path.relpath(path)
+        except ValueError:  # different drive on Windows
+            pass
+    return path.replace(os.sep, "/")
+
+
 def fingerprints(findings: Iterable[Finding]) -> List[Tuple[Finding, str]]:
     """Pair each finding with its stable fingerprint.
 
@@ -41,7 +56,7 @@ def fingerprints(findings: Iterable[Finding]) -> List[Tuple[Finding, str]]:
     seen: Dict[Tuple[str, str, str], int] = {}
     out: List[Tuple[Finding, str]] = []
     for finding in ordered:
-        key = (finding.rule, finding.path.replace(os.sep, "/"),
+        key = (finding.rule, _path_key(finding.path),
                _normalize(finding.snippet))
         index = seen.get(key, 0)
         seen[key] = index + 1
@@ -75,7 +90,7 @@ def save(path: str, findings: Iterable[Finding]) -> int:
         {
             "fingerprint": digest,
             "rule": finding.rule,
-            "path": finding.path.replace(os.sep, "/"),
+            "path": _path_key(finding.path),
             "snippet": _normalize(finding.snippet),
             "justification": "",
         }

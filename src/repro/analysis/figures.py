@@ -44,29 +44,32 @@ def figure2(num_ops: int = 12) -> List[Dict[str, object]]:
     Methodology: run each workload, attribute cycles to its copy regions
     (baseline vs copies-elided runs where region markers are impractical).
     """
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.protobuf import run_protobuf
     from repro.workloads.mongo import run_mongo
     from repro.workloads.mvcc import run_mvcc
     from repro.workloads.hugepage import run_hugepage_cow
 
+    proto, mongo_base, mongo_free, mvcc_base, mvcc_free, cow = sim_map([
+        SimPoint(run_protobuf, ("memcpy",), {"num_ops": num_ops}),
+        SimPoint(run_mongo, ("memcpy",),
+                 {"num_inserts": 3, "field_size": 32 * KB}),
+        SimPoint(run_mongo, ("nocopy",),
+                 {"num_inserts": 3, "field_size": 32 * KB}),
+        SimPoint(run_mvcc, ("memcpy", 0.0625), {"txns_per_thread": 20}),
+        SimPoint(run_mvcc, ("nocopy", 0.0625), {"txns_per_thread": 20}),
+        SimPoint(run_hugepage_cow, ("native",),
+                 {"region_size": 8 * MB, "num_updates": 8}),
+    ])
     rows: List[Dict[str, object]] = []
-    proto = run_protobuf("memcpy", num_ops=num_ops)
     rows.append({"workload": "Protobuf",
                  "copy_overhead_pct": 100.0 * proto["copy_fraction"]})
-
-    mongo_base = run_mongo("memcpy", num_inserts=3, field_size=32 * KB)
-    mongo_free = run_mongo("nocopy", num_inserts=3, field_size=32 * KB)
     rows.append({"workload": "MongoDB inserts",
                  "copy_overhead_pct": 100.0 * (1 - mongo_free["cycles"]
                                                / mongo_base["cycles"])})
-
-    mvcc_base = run_mvcc("memcpy", 0.0625, txns_per_thread=20)
-    mvcc_free = run_mvcc("nocopy", 0.0625, txns_per_thread=20)
     rows.append({"workload": "Cicada writes",
                  "copy_overhead_pct": 100.0 * (1 - mvcc_free["cycles"]
                                                / mvcc_base["cycles"])})
-
-    cow = run_hugepage_cow("native", region_size=8 * MB, num_updates=8)
     # Fault cost is dominated by the 2MB copy; overhead = copy / fault.
     from repro.common import params
     fault = max(s for s in cow["latencies"])
@@ -119,17 +122,17 @@ def figure10(sizes: Optional[Sequence[int]] = None
 def figure11(sizes: Optional[Sequence[int]] = None
              ) -> List[Dict[str, object]]:
     """memcpy_lazy overhead breakdown: writeback vs packet."""
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.micro.latency import measure_lazy_breakdown
 
     sizes = list(sizes or (64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB,
                            256 * KB, 1 * MB, 4 * MB))
-    rows = []
-    for size in sizes:
-        b = measure_lazy_breakdown(size)
-        rows.append({"size": pretty_size(size),
-                     "writeback_pct": 100.0 * b["writeback_frac"],
-                     "packet_pct": 100.0 * b["packet_frac"]})
-    return rows
+    results = sim_map([SimPoint(measure_lazy_breakdown, (size,))
+                       for size in sizes])
+    return [{"size": pretty_size(size),
+             "writeback_pct": 100.0 * b["writeback_frac"],
+             "packet_pct": 100.0 * b["packet_frac"]}
+            for size, b in zip(sizes, results)]
 
 
 #: Scaled config for the access microbenchmarks: the paper copies 4MB on
@@ -168,38 +171,37 @@ def figure13(buffer_size: int = ACCESS_BUFFER,
 # --------------------------------------------------------------- Fig. 14
 def figure14(num_ops: int = 40) -> List[Dict[str, object]]:
     """Protobuf runtime: baseline vs zIO vs (MC)²."""
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.protobuf import run_protobuf
 
-    rows = []
-    base = None
-    for engine in ("memcpy", "zio", "mcsquare"):
-        r = run_protobuf(engine, num_ops=num_ops)
-        if base is None:
-            base = r["cycles"]
-        rows.append({"variant": engine, "runtime_ms": r["ms"],
-                     "speedup_vs_baseline": base / r["cycles"]})
-    return rows
+    engines = ("memcpy", "zio", "mcsquare")
+    results = sim_map([SimPoint(run_protobuf, (engine,),
+                                {"num_ops": num_ops})
+                       for engine in engines])
+    base = results[0]["cycles"]
+    return [{"variant": engine, "runtime_ms": r["ms"],
+             "speedup_vs_baseline": base / r["cycles"]}
+            for engine, r in zip(engines, results)]
 
 
 # --------------------------------------------------------------- Fig. 15
 def figure15(num_inserts: int = 6,
              field_size: int = 50 * KB) -> List[Dict[str, object]]:
     """MongoDB average insert latency."""
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.mongo import run_mongo
 
-    rows = []
-    base = None
-    for engine in ("memcpy", "zio", "mcsquare"):
-        r = run_mongo(engine, num_inserts=num_inserts,
-                      field_size=field_size)
-        if base is None:
-            base = r["avg_insert_latency_cycles"]
-        rows.append({
-            "variant": engine,
-            "avg_latency_ms": r["avg_insert_latency_ms"],
-            "vs_baseline": r["avg_insert_latency_cycles"] / base,
-        })
-    return rows
+    engines = ("memcpy", "zio", "mcsquare")
+    results = sim_map([SimPoint(run_mongo, (engine,),
+                                {"num_inserts": num_inserts,
+                                 "field_size": field_size})
+                       for engine in engines])
+    base = results[0]["avg_insert_latency_cycles"]
+    return [{
+        "variant": engine,
+        "avg_latency_ms": r["avg_insert_latency_ms"],
+        "vs_baseline": r["avg_insert_latency_cycles"] / base,
+    } for engine, r in zip(engines, results)]
 
 
 # ---------------------------------------------------------- Figs. 16/17
@@ -211,42 +213,55 @@ def figure16(threads: int = 1, txns: int = 30) -> List[Dict[str, object]]:
 
 def figure17(threads: int = 1, txns: int = 30) -> List[Dict[str, object]]:
     """MVCC write-only throughput (incl. non-temporal variant)."""
+    from repro.perf.runner import SimPoint, sim_map
+    from repro.workloads.mvcc import run_mvcc
+
     rows = _mvcc_sweep("write", threads, txns,
                        engines=("memcpy", "mcsquare"))
-    for fraction in (0.0625, 0.125, 0.25, 0.5, 1.0):
-        from repro.workloads.mvcc import run_mvcc
-        r = run_mvcc("mcsquare", fraction, num_threads=threads,
-                     update_kind="write_nt", txns_per_thread=txns)
-        rows.append({"fraction": fraction,
-                     "variant": "mcsquare_nontemporal",
-                     "kops_per_sec": r["kops_per_sec"]})
+    fractions = (0.0625, 0.125, 0.25, 0.5, 1.0)
+    results = sim_map([SimPoint(run_mvcc, ("mcsquare", fraction),
+                                {"num_threads": threads,
+                                 "update_kind": "write_nt",
+                                 "txns_per_thread": txns})
+                       for fraction in fractions])
+    rows.extend({"fraction": fraction,
+                 "variant": "mcsquare_nontemporal",
+                 "kops_per_sec": r["kops_per_sec"]}
+                for fraction, r in zip(fractions, results))
     return rows
 
 
 def _mvcc_sweep(kind: str, threads: int, txns: int,
                 engines=("memcpy", "mcsquare")) -> List[Dict[str, object]]:
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.mvcc import run_mvcc
 
-    rows = []
-    for fraction in (0.0625, 0.125, 0.25, 0.5, 1.0):
-        for engine in engines:
-            r = run_mvcc(engine, fraction, num_threads=threads,
-                         update_kind=kind, txns_per_thread=txns)
-            rows.append({"fraction": fraction, "variant": engine,
-                         "kops_per_sec": r["kops_per_sec"]})
-    return rows
+    grid = [(fraction, engine)
+            for fraction in (0.0625, 0.125, 0.25, 0.5, 1.0)
+            for engine in engines]
+    results = sim_map([SimPoint(run_mvcc, (engine, fraction),
+                                {"num_threads": threads,
+                                 "update_kind": kind,
+                                 "txns_per_thread": txns})
+                       for fraction, engine in grid])
+    return [{"fraction": fraction, "variant": engine,
+             "kops_per_sec": r["kops_per_sec"]}
+            for (fraction, engine), r in zip(grid, results)]
 
 
 # --------------------------------------------------------------- Fig. 18
 def figure18(region_size: int = 16 * MB,
              num_updates: int = 60) -> List[Dict[str, object]]:
     """Huge-page COW write latencies, access by access."""
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.hugepage import run_hugepage_cow
 
+    results = sim_map([SimPoint(run_hugepage_cow, (engine,),
+                                {"region_size": region_size,
+                                 "num_updates": num_updates})
+                       for engine in ("native", "mcsquare")])
     rows: List[Dict[str, object]] = []
-    for engine in ("native", "mcsquare"):
-        r = run_hugepage_cow(engine, region_size=region_size,
-                             num_updates=num_updates)
+    for r in results:
         for i, lat in enumerate(r["latencies"]):
             rows.append({"access": i, "variant": r["engine"],
                          "cycles": lat})
@@ -256,15 +271,18 @@ def figure18(region_size: int = 16 * MB,
 # --------------------------------------------------------------- Fig. 19
 def figure19(num_transfers: int = 10) -> List[Dict[str, object]]:
     """Pipe transfer throughput by size."""
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.pipe import run_pipe
 
-    rows = []
-    for size in (1 * KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB):
-        for engine in ("native", "mcsquare"):
-            r = run_pipe(engine, size, num_transfers=num_transfers)
-            rows.append({"size": pretty_size(size), "variant": r["engine"],
-                         "bytes_per_kcycle": r["bytes_per_kcycle"]})
-    return rows
+    grid = [(size, engine)
+            for size in (1 * KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB)
+            for engine in ("native", "mcsquare")]
+    results = sim_map([SimPoint(run_pipe, (engine, size),
+                                {"num_transfers": num_transfers})
+                       for size, engine in grid])
+    return [{"size": pretty_size(size), "variant": r["engine"],
+             "bytes_per_kcycle": r["bytes_per_kcycle"]}
+            for (size, _engine), r in zip(grid, results)]
 
 
 # --------------------------------------------------------------- Fig. 20
@@ -278,19 +296,23 @@ def figure20(num_ops: int = 30,
     (too-small table + high threshold stalls the CPU; a low threshold
     avoids stalls at the price of unnecessary copying).
     """
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.protobuf import run_protobuf
 
-    rows = []
-    for entries in entries_list:
-        for threshold in (0.25, 0.5, 0.9):
-            config = SystemConfig(ctt_entries=entries,
-                                  copy_threshold=threshold)
-            r = run_protobuf("mcsquare", num_ops=num_ops, config=config)
-            rows.append({
-                "ctt_entries": entries, "threshold": threshold,
-                "runtime_ms": r["ms"],
-                "ctt_full_stall_cycles": r["ctt_full_stall_cycles"],
-            })
+    grid = [(entries, threshold)
+            for entries in entries_list
+            for threshold in (0.25, 0.5, 0.9)]
+    results = sim_map([
+        SimPoint(run_protobuf, ("mcsquare",),
+                 {"num_ops": num_ops,
+                  "config": SystemConfig(ctt_entries=entries,
+                                         copy_threshold=threshold)})
+        for entries, threshold in grid])
+    rows = [{
+        "ctt_entries": entries, "threshold": threshold,
+        "runtime_ms": r["ms"],
+        "ctt_full_stall_cycles": r["ctt_full_stall_cycles"],
+    } for (entries, threshold), r in zip(grid, results)]
     stalls = [r["ctt_full_stall_cycles"] for r in rows]
     lo, hi = min(stalls), max(stalls)
     for r in rows:
@@ -314,22 +336,36 @@ def figure21() -> List[Dict[str, object]]:
 # --------------------------------------------------------------- Fig. 22
 def figure22(txns: int = 20) -> List[Dict[str, object]]:
     """MVCC speedup vs threads × parallel CTT frees."""
+    from repro.perf.runner import SimPoint, sim_map
     from repro.workloads.mvcc import run_mvcc
 
     # Scaled CTT (32 entries for this workload's tens of live copies,
     # mirroring the paper's thousands against 2,048 entries) so that the
     # table actually fills at high thread counts.
-    rows = []
-    for threads in (1, 2, 4, 8):
-        base = run_mvcc("memcpy", 0.125, num_threads=threads,
-                        txns_per_thread=txns)["kops_per_sec"]
-        for frees in (1, 2, 4, 8):
+    thread_counts = (1, 2, 4, 8)
+    frees_list = (1, 2, 4, 8)
+    points = []
+    for threads in thread_counts:
+        points.append(SimPoint(run_mvcc, ("memcpy", 0.125),
+                               {"num_threads": threads,
+                                "txns_per_thread": txns}))
+        for frees in frees_list:
             config = SystemConfig(ctt_entries=32, parallel_frees=frees)
-            r = run_mvcc("mcsquare", 0.125, num_threads=threads,
-                         txns_per_thread=txns, config=config)
+            points.append(SimPoint(run_mvcc, ("mcsquare", 0.125),
+                                   {"num_threads": threads,
+                                    "txns_per_thread": txns,
+                                    "config": config}))
+    results = sim_map(points)
+    rows = []
+    index = 0
+    for threads in thread_counts:
+        base = results[index]["kops_per_sec"]
+        index += 1
+        for frees in frees_list:
             rows.append({"threads": threads, "parallel_frees": frees,
                          "normalized_throughput":
-                         r["kops_per_sec"] / base})
+                         results[index]["kops_per_sec"] / base})
+            index += 1
     return rows
 
 

@@ -9,11 +9,19 @@ the cache until written back, which is what makes the (MC)² BPQ semantics
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError
-from repro.common.units import CACHELINE_SIZE, align_down
+from repro.common.units import CACHELINE_SIZE
 from repro.sim.stats import StatGroup
+
+# Line-address arithmetic is inlined in the lookup paths below (they run
+# once per simulated cache access, the hottest non-engine code in the
+# repo): CACHELINE_SIZE is a power of two, so aligning is a mask and the
+# set index is a shift.
+_LINE_SHIFT = CACHELINE_SIZE.bit_length() - 1
+_LINE_MASK = ~(CACHELINE_SIZE - 1)
+assert CACHELINE_SIZE == 1 << _LINE_SHIFT, "cacheline size must be 2^n"
 
 
 class CacheLine:
@@ -55,15 +63,11 @@ class Cache:
         self.invalidations = stats.counter("invalidations", "lines invalidated")
 
     # ------------------------------------------------------------- lookup
-    def _set_of(self, addr: int) -> Dict[int, CacheLine]:
-        index = (addr // CACHELINE_SIZE) % self.num_sets
-        return self._sets[index]
-
     def lookup(self, addr: int, now: int, touch: bool = True
                ) -> Optional[CacheLine]:
         """Find the line containing ``addr``; updates LRU when ``touch``."""
-        line_addr = align_down(addr, CACHELINE_SIZE)
-        line = self._set_of(line_addr).get(line_addr)
+        line_addr = addr & _LINE_MASK
+        line = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets].get(line_addr)
         if line is not None and touch:
             line.last_used = now
             self.policy.on_touch(line)
@@ -71,8 +75,8 @@ class Cache:
 
     def probe(self, addr: int) -> bool:
         """Tag check without LRU update or stats."""
-        line_addr = align_down(addr, CACHELINE_SIZE)
-        return line_addr in self._set_of(line_addr)
+        line_addr = addr & _LINE_MASK
+        return line_addr in self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets]
 
     # --------------------------------------------------------------- fill
     def fill(self, addr: int, data: bytes, now: int,
@@ -82,8 +86,8 @@ class Cache:
         Returns the evicted :class:`CacheLine` when one was displaced
         (caller writes it back if dirty), else ``None``.
         """
-        line_addr = align_down(addr, CACHELINE_SIZE)
-        cset = self._set_of(line_addr)
+        line_addr = addr & _LINE_MASK
+        cset = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets]
         existing = cset.get(line_addr)
         if existing is not None:
             # The resident copy is at least as new as any incoming fill
@@ -110,15 +114,16 @@ class Cache:
     # ----------------------------------------------------------- maintain
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Drop the line containing ``addr`` (returns it if present)."""
-        line_addr = align_down(addr, CACHELINE_SIZE)
-        line = self._set_of(line_addr).pop(line_addr, None)
+        line_addr = addr & _LINE_MASK
+        line = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets].pop(line_addr, None)
         if line is not None:
             self.invalidations.inc()
         return line
 
     def clean(self, addr: int) -> Optional[bytes]:
         """CLWB semantics: clear the dirty bit, return data if it was dirty."""
-        line = self.lookup(addr, 0, touch=False)
+        line_addr = addr & _LINE_MASK
+        line = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets].get(line_addr)
         if line is not None and line.dirty:
             line.dirty = False
             return bytes(line.data)
@@ -140,9 +145,12 @@ class Cache:
 
     def write_bytes(self, addr: int, data: bytes, now: int) -> bool:
         """Write ``data`` into a resident line; True on success."""
-        line = self.lookup(addr, now)
+        line_addr = addr & _LINE_MASK
+        line = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets].get(line_addr)
         if line is None:
             return False
+        line.last_used = now
+        self.policy.on_touch(line)
         offset = addr - line.addr
         if offset + len(data) > CACHELINE_SIZE:
             raise ConfigError("store crosses a cacheline boundary")
@@ -152,9 +160,12 @@ class Cache:
 
     def read_bytes(self, addr: int, size: int, now: int) -> Optional[bytes]:
         """Read ``size`` bytes from a resident line; None on miss."""
-        line = self.lookup(addr, now)
+        line_addr = addr & _LINE_MASK
+        line = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets].get(line_addr)
         if line is None:
             return None
+        line.last_used = now
+        self.policy.on_touch(line)
         offset = addr - line.addr
         if offset + size > CACHELINE_SIZE:
             raise ConfigError("load crosses a cacheline boundary")

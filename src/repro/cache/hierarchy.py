@@ -22,8 +22,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.common import params
-from repro.common.units import CACHELINE_SIZE, align_down, cachelines_spanned
-from repro.cache.cache import Cache, CacheLine
+from repro.common.units import CACHELINE_SIZE, align_down
+from repro.cache.cache import _LINE_SHIFT, Cache
 from repro.cache.prefetcher import StridePrefetcher
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet, PacketType
@@ -52,6 +52,16 @@ class CacheHierarchy:
         self.l1s = [Cache(f"l1_{i}", l1_size, l1_assoc,
                           stats.group(f"l1_{i}")) for i in range(num_cores)]
         self.l2 = Cache("l2", l2_size, l2_assoc, stats.group("l2"))
+        # Precomputed scan orders (hot: one full-hierarchy walk per line
+        # for CLWB/MCLAZY/bulk-copy flushes).  ``_caches`` is every cache
+        # once; ``_scan_order[core]`` starts at that core's L1, then the
+        # shared L2, then the peers — the same order the per-call list
+        # construction used to produce.
+        self._caches: List[Cache] = self.l1s + [self.l2]
+        self._scan_order: List[List[Cache]] = [
+            [self.l1s[core], self.l2]
+            + [l1 for i, l1 in enumerate(self.l1s) if i != core]
+            for core in range(num_cores)]
         self.prefetcher = StridePrefetcher(stats.group("prefetcher"),
                                            enabled=prefetch_enabled)
         # Per-core outstanding L1 misses (MSHR budget) + wait queues.
@@ -97,7 +107,7 @@ class CacheHierarchy:
         available.  Latency: L1 hit, L2 hit, or full memory round trip,
         bounded by the core's MSHR budget.
         """
-        self._loads.inc()
+        self._loads.value += 1
         line_addr = align_down(addr, CACHELINE_SIZE)
         offset = addr - line_addr
         if offset + size > CACHELINE_SIZE:
@@ -107,13 +117,13 @@ class CacheHierarchy:
 
         line = l1.lookup(addr, self.sim.now)
         if line is not None:
-            l1.hits.inc()
+            l1.hits.value += 1
             done = self.sim.now + params.L1_HIT_CYCLES
             data = bytes(line.data[offset:offset + size])
             self.sim.schedule_at(done, lambda: on_complete(data, done),
                                  label="l1-hit")
             return
-        l1.misses.inc()
+        l1.misses.value += 1
         self._train_prefetcher(core, line_addr)
 
         # MESI-style owner forward: if a peer L1 holds the line dirty,
@@ -131,7 +141,7 @@ class CacheHierarchy:
 
         l2_line = self.l2.lookup(addr, self.sim.now)
         if l2_line is not None:
-            self.l2.hits.inc()
+            self.l2.hits.value += 1
             done = self.sim.now + params.L2_HIT_CYCLES
             data = bytes(l2_line.data)
             value = data[offset:offset + size]
@@ -144,7 +154,7 @@ class CacheHierarchy:
 
             self.sim.schedule_at(done, _fill_l1, label="l2-hit")
             return
-        self.l2.misses.inc()
+        self.l2.misses.value += 1
 
         # Snoop peer L1s: a dirty copy there must be forwarded, not
         # re-fetched stale from memory.
@@ -181,7 +191,7 @@ class CacheHierarchy:
         ``on_complete(finish_cycle)`` fires when the store has landed in
         the cache (i.e. when a store-buffer entry could drain).
         """
-        self._stores.inc()
+        self._stores.value += 1
         line_addr = align_down(addr, CACHELINE_SIZE)
         if (addr - line_addr) + size > CACHELINE_SIZE:
             self._split_store(core, addr, size, data, on_complete)
@@ -196,17 +206,17 @@ class CacheHierarchy:
         if l1.write_bytes(addr, data, self.sim.now):
             if full_line:
                 self.poisoned_lines.discard(line_addr)
-            l1.hits.inc()
+            l1.hits.value += 1
             done = self.sim.now + 1
             self.sim.schedule_at(done, lambda: on_complete(done),
                                  label="store-hit")
             return
-        l1.misses.inc()
+        l1.misses.value += 1
         self._train_prefetcher(core, line_addr)
 
         l2_line = self.l2.lookup(addr, self.sim.now)
         if l2_line is not None:
-            self.l2.hits.inc()
+            self.l2.hits.value += 1
             done = self.sim.now + params.L2_HIT_CYCLES
 
             def _fill_and_write() -> None:
@@ -218,7 +228,7 @@ class CacheHierarchy:
 
             self.sim.schedule_at(done, _fill_and_write, label="store-l2")
             return
-        self.l2.misses.inc()
+        self.l2.misses.value += 1
 
         def _on_rfo(line_data: bytes, finish: int) -> None:
             l1.write_bytes(addr, data, self.sim.now)
@@ -307,12 +317,7 @@ class CacheHierarchy:
             on_complete(finish)
 
         line_addr = align_down(addr, CACHELINE_SIZE)
-        data: Optional[bytes] = None
-        for cache in [self.l1s[core], self.l2] + \
-                [l1 for i, l1 in enumerate(self.l1s) if i != core]:
-            flushed = cache.clean(line_addr)
-            if flushed is not None and data is None:
-                data = flushed
+        data = self._clean_scan(self._scan_order[core], line_addr)
         if data is None:
             # Nothing dirty anywhere: the flush still probes the whole
             # hierarchy before completing.
@@ -347,11 +352,7 @@ class CacheHierarchy:
 
         dirty = 0
         for line in range(start, addr + size, CACHELINE_SIZE):
-            data: Optional[bytes] = None
-            for cache in self._all_caches():
-                flushed = cache.clean(line)
-                if flushed is not None and data is None:
-                    data = flushed
+            data = self._clean_scan(self._caches, line)
             if data is None:
                 continue
             dirty += 1
@@ -377,11 +378,7 @@ class CacheHierarchy:
         """
         for line in range(align_down(src, CACHELINE_SIZE),
                           src + size, CACHELINE_SIZE):
-            data = None
-            for cache in self._all_caches():
-                flushed = cache.clean(line)
-                if flushed is not None and data is None:
-                    data = flushed
+            data = self._clean_scan(self._caches, line)
             if data is not None:
                 wb = Packet(PacketType.WRITE, line, CACHELINE_SIZE,
                             requestor=core)
@@ -415,11 +412,7 @@ class CacheHierarchy:
         assert dst % CACHELINE_SIZE == 0 and src % CACHELINE_SIZE == 0 \
             and size % CACHELINE_SIZE == 0, "bulk_copy is line-granular"
         for line in range(src, src + size, CACHELINE_SIZE):
-            data = None
-            for cache in self._all_caches():
-                flushed = cache.clean(line)
-                if flushed is not None and data is None:
-                    data = flushed
+            data = self._clean_scan(self._caches, line)
             if data is not None:
                 wb = Packet(PacketType.WRITE, line, CACHELINE_SIZE)
                 wb.data = data
@@ -461,7 +454,26 @@ class CacheHierarchy:
 
     # ----------------------------------------------------------- plumbing
     def _all_caches(self) -> List[Cache]:
-        return list(self.l1s) + [self.l2]
+        return self._caches
+
+    @staticmethod
+    def _clean_scan(caches: List[Cache], line_addr: int) -> Optional[bytes]:
+        """Clear ``line_addr``'s dirty bit in every cache; first dirty wins.
+
+        Equivalent to calling :meth:`Cache.clean` on each cache in order,
+        with the tag probe inlined: the CLWB/MCLAZY/bulk-copy paths run
+        this once per line over whole buffers, and the per-cache call
+        overhead dominated their profile.  ``line_addr`` must be aligned.
+        """
+        data: Optional[bytes] = None
+        for cache in caches:
+            line = cache._sets[(line_addr >> _LINE_SHIFT)
+                               % cache.num_sets].get(line_addr)
+            if line is not None and line.dirty:
+                line.dirty = False
+                if data is None:
+                    data = bytes(line.data)
+        return data
 
     def _invalidate_everywhere(self, line_addr: int) -> None:
         """Drop a line from all caches and poison in-flight fills for it.
@@ -471,8 +483,13 @@ class CacheHierarchy:
         longer installs, and later accesses start a fresh fetch that
         observes the new memory-side state (e.g. a CTT bounce).
         """
-        for cache in self._all_caches():
-            cache.invalidate(line_addr)
+        for cache in self._caches:
+            # Cache.invalidate inlined (one call per cache per line over
+            # whole buffers on the MCLAZY/bulk-copy paths).
+            line = cache._sets[(line_addr >> _LINE_SHIFT)
+                               % cache.num_sets].pop(line_addr, None)
+            if line is not None:
+                cache.invalidations.value += 1
         self._fill_epoch[line_addr] = self._fill_epoch.get(line_addr, 0) + 1
         self._inflight_fills.pop(line_addr, None)
         self.poisoned_lines.discard(line_addr)
@@ -493,9 +510,9 @@ class CacheHierarchy:
 
     def _functional_line(self, core: int, line_addr: int) -> bytes:
         """Best-effort current value of a line from the caches (NT merge)."""
-        for cache in [self.l1s[core], self.l2] + \
-                [l1 for i, l1 in enumerate(self.l1s) if i != core]:
-            line = cache.lookup(line_addr, self.sim.now, touch=False)
+        for cache in self._scan_order[core]:
+            line = cache._sets[(line_addr >> _LINE_SHIFT)
+                               % cache.num_sets].get(line_addr)
             if line is not None:
                 return bytes(line.data)
         return bytes(CACHELINE_SIZE)
@@ -668,7 +685,8 @@ class CacheHierarchy:
         """Read bytes from the caches only (None when uncached)."""
         line_addr = align_down(addr, CACHELINE_SIZE)
         for cache in self._all_caches():
-            line = cache.lookup(line_addr, self.sim.now, touch=False)
+            line = cache._sets[(line_addr >> _LINE_SHIFT)
+                               % cache.num_sets].get(line_addr)
             if line is not None:
                 offset = addr - line_addr
                 return bytes(line.data[offset:offset + size])

@@ -77,6 +77,10 @@ class Core:
         self._exhausted = True
         self._on_finish: Optional[Callable[[int], None]] = None
         self._pump_scheduled = False
+        # Hot-path bindings: _schedule_pump runs several times per op, so
+        # the label and entry callback are built once, not per schedule.
+        self._pump_label = f"core{core_id}-pump"
+        self._pump_entry = self._run_pump
 
         # -------- statistics ---------------------------------------------
         self.ops_retired = stats.counter("ops_retired", "ops retired")
@@ -109,19 +113,19 @@ class Core:
         self._exhausted = False
         self._on_finish = on_finish
         self._next_issue_at = self.sim.now
-        self._schedule_pump()
+        if not self._pump_scheduled:
+            self._schedule_pump()
 
     # ------------------------------------------------------------ pumping
     def _schedule_pump(self, delay: int = 0) -> None:
         if self._pump_scheduled:
             return
         self._pump_scheduled = True
+        self.sim.schedule(delay, self._pump_entry, label=self._pump_label)
 
-        def _go() -> None:
-            self._pump_scheduled = False
-            self._pump()
-
-        self.sim.schedule(delay, _go, label=f"core{self.core_id}-pump")
+    def _run_pump(self) -> None:
+        self._pump_scheduled = False
+        self._pump()
 
     def _pump(self) -> None:
         """Issue as many ops as resources allow at the current cycle."""
@@ -143,14 +147,14 @@ class Core:
                 self._maybe_finish()
                 return
             self._pending_op = op
-            if self._needs_sb_slot(op) and self._sb_used >= \
+            if op.kind in self._SB_KINDS and self._sb_used >= \
                     self.store_buffer_entries:
                 self.sb_full_stalls.inc()
                 self._note_stall()
                 return
-            issue_at = max(self.sim.now, self._next_issue_at)
-            if issue_at > self.sim.now:
-                self._schedule_pump(issue_at - self.sim.now)
+            now = self.sim.now
+            if self._next_issue_at > now:
+                self._schedule_pump(self._next_issue_at - now)
                 return
             self._pending_op = None
             self._clear_stall()
@@ -178,7 +182,8 @@ class Core:
             self._pending_op = op
         except StopIteration:
             self._exhausted = True
-        self._schedule_pump()
+        if not self._pump_scheduled:
+            self._schedule_pump()
 
     def _forward_from_store_buffer(self, addr: int,
                                    size: int) -> Optional[bytes]:
@@ -226,14 +231,17 @@ class Core:
         _try()
 
     # -------------------------------------------------------------- issue
+    _SB_KINDS = frozenset((OpKind.STORE, OpKind.NT_STORE, OpKind.CLWB,
+                           OpKind.CLWB_RANGE, OpKind.MCLAZY, OpKind.MCFREE))
+
     @staticmethod
     def _needs_sb_slot(op: Op) -> bool:
-        return op.kind in (OpKind.STORE, OpKind.NT_STORE, OpKind.CLWB,
-                           OpKind.CLWB_RANGE, OpKind.MCLAZY, OpKind.MCFREE)
+        return op.kind in Core._SB_KINDS
 
     def _issue(self, op: Op) -> None:
-        op.issued_at = self.sim.now
-        self._next_issue_at = self.sim.now + _ISSUE_COST[op.kind]
+        now = self.sim.now
+        op.issued_at = now
+        self._next_issue_at = now + _ISSUE_COST[op.kind]
         self._window.append(op)
         kind = op.kind
 
@@ -243,7 +251,7 @@ class Core:
             self.sim.schedule_at(done, lambda: self._complete(op),
                                  label="compute-done")
         elif kind is OpKind.LOAD:
-            self.loads.inc()
+            self.loads.value += 1
             forwarded = self._forward_from_store_buffer(op.addr, op.size)
             if forwarded is not None:
                 op.value = forwarded
@@ -257,7 +265,8 @@ class Core:
                 if op.blocking:
                     self._awaiting = op
                 self.sim.schedule_at(done, _fwd, label="stl-forward")
-                self._schedule_pump()
+                if not self._pump_scheduled:
+                    self._schedule_pump()
                 return
             self._mem_begin()
             if op.blocking:
@@ -282,7 +291,7 @@ class Core:
                 self.hierarchy.load(self.core_id, op.addr, op.size,
                                     _loaded)
         elif kind is OpKind.STORE:
-            self.stores.inc()
+            self.stores.value += 1
             self._sb_used += 1
             data = op.data() if callable(op.data) else op.data
             if data is None:
@@ -309,7 +318,7 @@ class Core:
 
             _dispatch()
         elif kind is OpKind.NT_STORE:
-            self.stores.inc()
+            self.stores.value += 1
             self._sb_used += 1
             data = op.data() if callable(op.data) else op.data
             if data is None:
@@ -368,7 +377,8 @@ class Core:
             self._try_fence()
         else:  # pragma: no cover - exhaustive
             raise SimulationError(f"unknown op kind {kind}")
-        self._schedule_pump()
+        if not self._pump_scheduled:
+            self._schedule_pump()
 
     # -------------------------------------------------------- completion
     def _complete(self, op: Op) -> None:
@@ -376,13 +386,14 @@ class Core:
         self._retire()
         if self._fence is not None:
             self._try_fence()
-        self._schedule_pump()
+        if not self._pump_scheduled:
+            self._schedule_pump()
 
     def _retire(self) -> None:
         while self._window and self._window[0].completed_at is not None:
             op = self._window.popleft()
             op.retired_at = self.sim.now
-            self.ops_retired.inc()
+            self.ops_retired.value += 1
             if op.on_retire is not None:
                 op.on_retire(op, self.sim.now)
         self._maybe_finish()
@@ -402,7 +413,8 @@ class Core:
                     fence.completed_at = self.sim.now
                     self._fence = None
                     self._retire()
-                    self._schedule_pump()
+                    if not self._pump_scheduled:
+                        self._schedule_pump()
 
             self.sim.schedule_at(done, _fence_done, label="mfence-done")
 
@@ -410,7 +422,8 @@ class Core:
         self._sb_used -= 1
         if self._fence is not None:
             self._try_fence()
-        self._schedule_pump()
+        if not self._pump_scheduled:
+            self._schedule_pump()
 
     def _maybe_finish(self) -> None:
         if self.idle and self._on_finish is not None:

@@ -109,7 +109,11 @@ class CopyTrackingTable:
         self.capacity = capacity
         self.max_entry_size = max_entry_size
         # Entries sorted by destination start; destinations never overlap.
+        # ``_starts`` mirrors ``[e.dst for e in _entries]`` so the
+        # per-access destination lookup can bisect without rebuilding the
+        # key list (entry dst is immutable; only _add/_remove mutate).
         self._entries: List[CttEntry] = []
+        self._starts: List[int] = []
         # Coarse per-page reference counts over *source* ranges, used to
         # reject the common case (a write that touches no tracked source)
         # in O(1) instead of scanning the table.
@@ -166,14 +170,17 @@ class CopyTrackingTable:
 
     # --------------------------------------------------------- raw add/rm
     def _add(self, entry: CttEntry) -> None:
-        starts = [e.dst for e in self._entries]
-        self._entries.insert(bisect_right(starts, entry.dst), entry)
+        index = bisect_right(self._starts, entry.dst)
+        self._entries.insert(index, entry)
+        self._starts.insert(index, entry.dst)
         self._index_src(entry)
         if len(self._entries) > self._peak.value:
             self._peak.value = len(self._entries)
 
     def _remove(self, entry: CttEntry) -> None:
-        self._entries.remove(entry)
+        index = self._entries.index(entry)
+        del self._entries[index]
+        del self._starts[index]
         self._unindex_src(entry)
         self._removed_bytes.inc(entry.size)
 
@@ -182,8 +189,7 @@ class CopyTrackingTable:
         """Entries whose destination range intersects [addr, addr+size)."""
         if not self._entries or size <= 0:
             return []
-        starts = [e.dst for e in self._entries]
-        idx = bisect_right(starts, addr) - 1
+        idx = bisect_right(self._starts, addr) - 1
         out: List[CttEntry] = []
         if idx >= 0 and self._entries[idx].dst_end > addr:
             out.append(self._entries[idx])

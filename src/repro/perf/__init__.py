@@ -1,0 +1,39 @@
+"""Simulator performance toolkit: parallel sweeps, caching, profiling.
+
+* :mod:`repro.perf.runner` — :func:`sim_map` fans independent
+  simulation points across ``REPRO_JOBS`` worker processes with
+  deterministic, input-ordered merging;
+* :mod:`repro.perf.cache` — persistent content-addressed result store
+  under ``results/.simcache/`` (``REPRO_SIMCACHE=off`` to bypass);
+* :mod:`repro.perf.profile` — ``results/BENCH_sim.json`` recording of
+  events/sec, per-label event costs, and per-exhibit wall clock;
+* :mod:`repro.perf.microbench` — engine and fig12-point speed probes
+  plus the host-calibration loop the CI perf gate normalizes against;
+* :mod:`repro.perf.hostclock` — the single sanctioned wall-clock read.
+
+``python -m repro.perf`` exposes ``micro``, ``gate``, ``baseline`` and
+``cache`` commands (see :mod:`repro.perf.__main__`).
+"""
+
+from repro.perf.cache import SimCache, cache_enabled, code_stamp
+from repro.perf.hostclock import host_seconds
+from repro.perf.profile import (Stopwatch, load_bench, record_engine,
+                                record_exhibit, record_label_costs,
+                                update_bench)
+from repro.perf.runner import SimPoint, jobs_from_env, sim_map
+
+__all__ = [
+    "SimCache",
+    "SimPoint",
+    "Stopwatch",
+    "cache_enabled",
+    "code_stamp",
+    "host_seconds",
+    "jobs_from_env",
+    "load_bench",
+    "record_engine",
+    "record_exhibit",
+    "record_label_costs",
+    "sim_map",
+    "update_bench",
+]

@@ -1,0 +1,154 @@
+"""``python -m repro.perf`` — simulator-speed measurement and gating.
+
+Commands:
+
+* ``micro``    — run the engine/fig12 microbenchmarks, print the
+  numbers, and record them into ``results/BENCH_sim.json``;
+* ``gate``     — re-run the microbenchmarks and fail (exit 1) if the
+  machine-normalized events/sec regressed more than ``--tolerance``
+  (default 20%) against ``benchmarks/bench-baseline.json``;
+* ``baseline`` — rewrite ``benchmarks/bench-baseline.json`` from a
+  fresh measurement (run on an idle machine);
+* ``cache``    — ``info`` or ``clear`` the persistent sim-result cache.
+
+The gate compares *ratios* (events/sec divided by a pure-Python
+calibration loop's ops/sec), so one baseline file serves laptops and CI
+runners alike.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.perf.cache import SimCache, repo_root
+
+BASELINE_PATH = repo_root() / "benchmarks" / "bench-baseline.json"
+
+#: The machine-normalized metrics the perf gate enforces.
+GATED_METRICS = ("engine_per_calibration_op", "fig12_per_calibration_op")
+
+
+def _measure(args) -> dict:
+    from repro.perf.microbench import run_microbench
+
+    return run_microbench(num_events=args.events, repeats=args.repeats)
+
+
+def _cmd_micro(args) -> int:
+    from repro.perf.profile import record_engine
+
+    numbers = _measure(args)
+    for key in sorted(numbers):
+        print(f"{key:28s} {numbers[key]}")
+    if not args.no_record:
+        record_engine(numbers)
+        print("\nrecorded into results/BENCH_sim.json")
+    return 0
+
+
+def _cmd_gate(args) -> int:
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    numbers = _measure(args)
+    from repro.perf.profile import record_engine
+
+    record_engine(numbers)
+    failed = False
+    for metric in GATED_METRICS:
+        reference = baseline.get(metric)
+        measured = numbers.get(metric)
+        if reference is None or measured is None:
+            print(f"{metric}: missing from "
+                  f"{'baseline' if reference is None else 'measurement'}; "
+                  f"skipped")
+            continue
+        floor = reference * (1.0 - args.tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        failed = failed or measured < floor
+        print(f"{metric}: measured {measured:.4f} vs baseline "
+              f"{reference:.4f} (floor {floor:.4f}) — {verdict}")
+    if failed:
+        print(f"\nperf gate FAILED: events/sec regressed more than "
+              f"{args.tolerance:.0%} vs {args.baseline}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    numbers = _measure(args)
+    payload = {metric: numbers[metric] for metric in GATED_METRICS}
+    payload["comment"] = (
+        "Machine-normalized perf floors for `python -m repro.perf gate`: "
+        "events/sec divided by the pure-Python calibration loop's "
+        "ops/sec. Regenerate with `python -m repro.perf baseline` on an "
+        "idle machine after intentional perf-affecting changes.")
+    with open(args.baseline, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.baseline}")
+    for metric in GATED_METRICS:
+        print(f"  {metric} = {payload[metric]}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    store = SimCache()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached results from {store.root}")
+        return 0
+    info = store.info()
+    for key in ("root", "entries", "bytes", "enabled"):
+        print(f"{key:8s} {info[key]}")
+    return 0
+
+
+def _add_measure_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="engine microbenchmark event count")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs (default 3)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf", description="simulator performance toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    micro = sub.add_parser("micro", help="measure and record events/sec")
+    _add_measure_args(micro)
+    micro.add_argument("--no-record", action="store_true",
+                       help="print only; do not touch BENCH_sim.json")
+
+    gate = sub.add_parser("gate", help="fail if events/sec regressed")
+    _add_measure_args(gate)
+    gate.add_argument("--baseline", default=str(BASELINE_PATH),
+                      help="baseline JSON (default benchmarks/"
+                           "bench-baseline.json)")
+    gate.add_argument("--tolerance", type=float, default=0.2,
+                      help="allowed fractional regression (default 0.2)")
+
+    base = sub.add_parser("baseline", help="rewrite the perf baseline")
+    _add_measure_args(base)
+    base.add_argument("--baseline", default=str(BASELINE_PATH))
+
+    cache = sub.add_parser("cache", help="inspect/clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+
+    args = parser.parse_args(argv)
+    handlers = {"micro": _cmd_micro, "gate": _cmd_gate,
+                "baseline": _cmd_baseline, "cache": _cmd_cache}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Persistent, content-addressed cache of simulation results.
+
+Simulations here are pure functions of (code, config, workload
+parameters, scale): the same inputs always produce bit-identical result
+rows.  That makes results safely memoizable — re-running a benchmark
+suite after an unrelated edit should not re-simulate exhibits whose
+inputs did not change.
+
+Keys are SHA-256 digests over a canonical JSON encoding of the fully
+qualified function name, its arguments (dataclasses such as
+:class:`~repro.system.config.SystemConfig` are encoded field by field),
+the ``REPRO_SCALE`` value, and a *code stamp* — a content hash of every
+``.py`` file under ``src/repro`` — so any source change invalidates the
+whole store.  Values are stored one JSON file per key under
+``results/.simcache/``; only results that survive a JSON round-trip
+unchanged are cached, so a cache hit is bit-identical to a fresh run.
+
+Set ``REPRO_SIMCACHE=off`` to bypass the store entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional, Tuple
+
+#: Sentinel distinguishing "missing" from a cached ``None``.
+MISS = object()
+
+_STAMP_CACHE: Dict[str, str] = {}
+
+
+class Unkeyable(Exception):
+    """Raised when a sim point's parameters cannot be canonicalized."""
+
+
+def repo_root() -> pathlib.Path:
+    """The repository root (``src/repro/perf/`` is three levels down)."""
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def default_cache_dir() -> pathlib.Path:
+    return repo_root() / "results" / ".simcache"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_SIMCACHE=off`` (any case) is set."""
+    return os.environ.get("REPRO_SIMCACHE", "").lower() != "off"
+
+
+def code_stamp() -> str:
+    """Content hash of every ``repro`` source file (cached per process)."""
+    src_root = pathlib.Path(__file__).resolve().parents[1]
+    key = str(src_root)
+    stamp = _STAMP_CACHE.get(key)
+    if stamp is None:
+        digest = hashlib.sha256()
+        for path in sorted(src_root.rglob("*.py")):
+            digest.update(str(path.relative_to(src_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        stamp = digest.hexdigest()
+        _STAMP_CACHE[key] = stamp
+    return stamp
+
+
+def canonicalize(value: Any) -> Any:
+    """A JSON-encodable, deterministic form of a sim-point parameter.
+
+    Dataclass instances (configs) become ``{"__dataclass__": name,
+    "fields": {...}}``; tuples become lists.  Anything else that JSON
+    cannot express raises :class:`Unkeyable` — the point still runs, it
+    just isn't cached.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": f"{type(value).__module__}."
+                             f"{type(value).__qualname__}",
+            "fields": {k: canonicalize(v) for k, v in sorted(
+                dataclasses.asdict(value).items())},
+        }
+    if isinstance(value, dict):
+        if not all(isinstance(k, str) for k in value):
+            raise Unkeyable(f"non-string dict keys in {value!r}")
+        return {k: canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    raise Unkeyable(f"cannot canonicalize {type(value).__name__}: {value!r}")
+
+
+def point_key(fn_name: str, args: Tuple, kwargs: Dict[str, Any],
+              scale: str) -> str:
+    """The content-addressed key for one (fn, params, scale) point."""
+    payload = {
+        "fn": fn_name,
+        "args": canonicalize(list(args)),
+        "kwargs": canonicalize(dict(kwargs)),
+        "scale": scale,
+        "code": code_stamp(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SimCache:
+    """A directory of ``<key-prefix>/<key>.json`` result files."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)["value"]
+        except (OSError, json.JSONDecodeError, KeyError):
+            return MISS
+
+    def put(self, key: str, fn_name: str, value: Any) -> bool:
+        """Store ``value`` if a JSON round-trip reproduces it exactly.
+
+        The round-trip check is what makes hits bit-identical to fresh
+        runs: a result JSON cannot represent (tuples, int dict keys,
+        NaN) is simply not cached.  Writes are atomic (tmp + rename) so
+        parallel writers never expose a torn file.
+        """
+        try:
+            blob = json.dumps({"fn": fn_name, "value": value},
+                              sort_keys=True, allow_nan=False)
+        except (TypeError, ValueError):
+            return False
+        if json.loads(blob)["value"] != value:
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(blob + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        return True
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                path.unlink()
+                removed += 1
+            for child in sorted(self.root.iterdir()):
+                if child.is_dir() and not any(child.iterdir()):
+                    child.rmdir()
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        """Entry count and total size, for ``python -m repro.perf cache``."""
+        entries = ([p for p in self.root.rglob("*.json")]
+                   if self.root.exists() else [])
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "enabled": cache_enabled(),
+        }

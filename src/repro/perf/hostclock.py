@@ -1,0 +1,23 @@
+"""The one sanctioned host wall-clock read in ``repro``.
+
+Simulation code must never read host time (analyzer rule MC2001): every
+simulated decision keys off :attr:`Simulator.now`.  Performance
+*measurement* of the simulator itself, however, needs a real clock.
+This module funnels every such read through a single function so the
+wall-clock dependency stays auditable — the MC2001 finding on the call
+below is deliberately baselined (see ``analysis-baseline.json``), and it
+is the only entry allowed to exist for that rule.
+
+Nothing imported from here may influence simulated behaviour: callers
+use it to *time* runs (events/sec, per-exhibit wall clock), never to
+*drive* them.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as _perf_counter
+
+
+def host_seconds() -> float:
+    """Monotonic host time in seconds, for measuring simulator speed."""
+    return _perf_counter()

@@ -1,0 +1,105 @@
+"""Performance bookkeeping: ``results/BENCH_sim.json``.
+
+One JSON file tracks the simulator's own speed from PR to PR:
+
+* ``engine`` — events/sec of the bare event loop and of a
+  representative fig12-style workload point (see
+  :mod:`repro.perf.microbench`), plus the host-calibration ops/sec used
+  to normalize across machines;
+* ``label_costs`` — per-label event-cost histograms from
+  :meth:`Simulator.enable_profiling`;
+* ``exhibits`` — wall-clock seconds per regenerated paper exhibit
+  (recorded by ``benchmarks/conftest.py``).
+
+Updates are merge-writes: each recorder rewrites only its own section,
+so benchmark runs, microbenchmarks, and CI smoke jobs can all append to
+the same file.  All timing flows through
+:func:`repro.perf.hostclock.host_seconds` — simulation code itself
+never reads the host clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro.perf.cache import repo_root
+from repro.perf.hostclock import host_seconds
+
+BENCH_FILENAME = "BENCH_sim.json"
+
+
+def bench_path() -> pathlib.Path:
+    return repo_root() / "results" / BENCH_FILENAME
+
+
+def load_bench(path: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+    """The current benchmark record ({} when absent or unreadable)."""
+    path = path or bench_path()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return data if isinstance(data, dict) else {}
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def update_bench(section: str, payload: Dict[str, Any],
+                 path: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+    """Merge ``payload`` into ``section`` and rewrite the file atomically."""
+    path = path or bench_path()
+    data = load_bench(path)
+    merged = dict(data.get(section) or {})
+    merged.update(payload)
+    data[section] = merged
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return data
+
+
+def record_exhibit(name: str, seconds: float,
+                   path: Optional[pathlib.Path] = None) -> None:
+    """Record one exhibit's wall clock (jobs/scale noted alongside)."""
+    update_bench("exhibits", {name: {
+        "seconds": round(seconds, 4),
+        "jobs": os.environ.get("REPRO_JOBS", "1"),
+        "scale": os.environ.get("REPRO_SCALE", "quick"),
+    }}, path=path)
+
+
+def record_engine(payload: Dict[str, Any],
+                  path: Optional[pathlib.Path] = None) -> None:
+    """Record engine microbenchmark numbers (events/sec etc.)."""
+    update_bench("engine", payload, path=path)
+
+
+def record_label_costs(costs: Dict[str, Dict[str, float]],
+                       path: Optional[pathlib.Path] = None) -> None:
+    """Record a per-label event-cost histogram from a profiled run."""
+    update_bench("label_costs", costs, path=path)
+
+
+class Stopwatch:
+    """``with Stopwatch() as sw: ...; sw.seconds`` — host wall clock."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = host_seconds()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = host_seconds() - self._start
+
+
+def profile_simulator(sim) -> None:
+    """Attach host-clock profiling to ``sim`` (per-label event costs)."""
+    sim.enable_profiling(host_seconds)

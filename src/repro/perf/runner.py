@@ -1,0 +1,129 @@
+"""Parallel sweep runner: fan independent simulation points out.
+
+Every paper exhibit is a sweep of *independent* simulations — each
+point builds its own :class:`~repro.system.system.System`, runs one
+workload, and returns a dict of scalars.  :func:`sim_map` executes a
+list of such points, optionally across ``REPRO_JOBS`` worker processes,
+and returns results **in input order** regardless of completion order,
+so a parallel sweep is bit-identical to a serial one.
+
+Points must be picklable: module-level functions with JSON-ish
+arguments (configs are frozen dataclasses, which pickle fine).  Workers
+are forked with ``REPRO_JOBS=1`` so a sweep nested inside a worker
+never forks again.
+
+Results are memoized through :mod:`repro.perf.cache` (disable with
+``REPRO_SIMCACHE=off`` or ``cache=False``); the cache is consulted and
+populated only in the parent process, keeping workers write-free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.perf.cache import MISS, SimCache, Unkeyable, cache_enabled, point_key
+
+#: Set in forked workers so nested sweeps stay serial.
+_WORKER_ENV = "REPRO_PERF_WORKER"
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One independent simulation: ``fn(*args, **kwargs)``."""
+
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return f"{self.fn.__module__}.{self.fn.__qualname__}"
+
+
+def jobs_from_env() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    if os.environ.get(_WORKER_ENV):
+        return 1
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _run_point(point: SimPoint) -> Any:
+    return point.fn(*point.args, **point.kwargs)
+
+
+def _init_worker() -> None:
+    # Keep nested sim_map calls (a sweep point that itself sweeps)
+    # serial inside workers, and mark the process for jobs_from_env().
+    os.environ[_WORKER_ENV] = "1"
+    os.environ["REPRO_JOBS"] = "1"
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def sim_map(points: Iterable[SimPoint],
+            jobs: Optional[int] = None,
+            cache: bool = True,
+            store: Optional[SimCache] = None,
+            scale: Optional[str] = None) -> List[Any]:
+    """Run every point; results in input order, parallel across ``jobs``.
+
+    ``jobs`` defaults to ``REPRO_JOBS``; ``cache=False`` bypasses the
+    persistent result store (``store`` overrides its location, for
+    tests).  Cached points never reach the pool, so a warm sweep costs
+    a few file reads.
+    """
+    points = list(points)
+    if jobs is None:
+        jobs = jobs_from_env()
+    use_cache = cache and (store is not None or cache_enabled())
+    if use_cache and store is None:
+        store = SimCache()
+
+    results: List[Any] = [None] * len(points)
+    keys: List[Optional[str]] = [None] * len(points)
+    misses: List[int] = []
+    if use_cache:
+        scale = scale or os.environ.get("REPRO_SCALE", "quick")
+        for i, point in enumerate(points):
+            try:
+                keys[i] = point_key(point.name, point.args, point.kwargs,
+                                    scale)
+            except Unkeyable:
+                misses.append(i)
+                continue
+            value = store.get(keys[i])
+            if value is MISS:
+                misses.append(i)
+            else:
+                results[i] = value
+    else:
+        misses = list(range(len(points)))
+
+    if misses:
+        todo = [points[i] for i in misses]
+        if jobs > 1 and len(todo) > 1 and _fork_available():
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(todo)),
+                    mp_context=context,
+                    initializer=_init_worker) as pool:
+                # Executor.map yields results in submission order — the
+                # merge is deterministic no matter which worker finishes
+                # first.
+                fresh = list(pool.map(_run_point, todo))
+        else:
+            fresh = [_run_point(point) for point in todo]
+        for i, value in zip(misses, fresh):
+            results[i] = value
+            if use_cache and keys[i] is not None:
+                store.put(keys[i], points[i].name, value)
+    return results

@@ -5,23 +5,48 @@ CPU cycles.  Components schedule callbacks on the :class:`Simulator`; the
 engine pops events in timestamp order (FIFO among equal timestamps) and
 invokes them.  This is deliberately minimal — deterministic, allocation
 light, and easy to reason about in tests.
+
+Hot-path notes
+--------------
+
+The heap holds ``(when, seq, event)`` tuples rather than bare
+:class:`Event` objects: tuple comparison runs entirely in C (``seq`` is
+unique, so the third element is never compared), where object comparison
+would call :meth:`Event.__lt__` once per sift step — the single largest
+engine overhead at paper-exhibit scale.
+
+``run()`` dispatches to one of two loops.  The fast loop assumes no
+watchdog and no profiler and keeps everything it touches in locals; the
+observed loop pays for :meth:`~repro.faults.watchdog.Watchdog.observe`
+and/or per-label cost accounting.  The split means a watchdog attached
+*while* ``run()`` is executing (from inside a callback) takes effect on
+the next ``run()``/``step()`` call, not mid-drain; every existing caller
+attaches before running.
+
+Cancelled events stay in the heap until popped or compacted.  The engine
+counts them (`pending` is O(1)) and compacts in place once more than half
+the queue is dead, so pathological schedule/cancel churn cannot grow the
+heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import LivelockError, SimulationError
 
 Callback = Callable[[], None]
 
+#: Queues below this size are never compacted: a handful of dead events
+#: is cheaper to pop through than to rebuild around.
+_COMPACT_MIN_QUEUE = 64
+
 
 class Event:
     """A scheduled callback.  Cancellable; compare by (when, seq)."""
 
-    __slots__ = ("when", "seq", "callback", "cancelled", "label")
+    __slots__ = ("when", "seq", "callback", "cancelled", "label", "_sim")
 
     def __init__(self, when: int, seq: int, callback: Callback, label: str = ""):
         self.when = when
@@ -29,10 +54,18 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        # Owning simulator while the event sits in its queue (cleared on
+        # pop) so cancel() can keep the live/cancelled counters exact
+        # even when called after the event already fired.
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Safe to call repeatedly."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -46,31 +79,68 @@ class Simulator:
     """Priority-queue event loop with a cycle-granularity clock."""
 
     def __init__(self) -> None:
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._seq = 0
         self.now: int = 0
         self._events_fired = 0
+        # Cancelled events still sitting in the heap; pending is
+        # len(_queue) - _cancelled, maintained on schedule/cancel/pop.
+        self._cancelled = 0
         # Optional progress monitor (see repro.faults.watchdog.Watchdog):
         # observes every fired event and raises LivelockError with a
         # post-mortem when simulated time stops advancing.
         self.watchdog = None
+        # Optional host-side cost profiler (see repro.perf.profile):
+        # ``_profile_clock`` returns float seconds, ``_label_costs`` maps
+        # label -> [count, total_s, min_s, max_s].  Never enabled by the
+        # engine itself, so default behaviour stays wall-clock free.
+        self._profile_clock: Optional[Callable[[], float]] = None
+        self._label_costs: Optional[Dict[str, List[float]]] = None
 
     # ------------------------------------------------------------ schedule
     def schedule(self, delay: int, callback: Callback, label: str = "") -> Event:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        event = Event(self.now + int(delay), next(self._seq), callback, label)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        when = self.now + delay
+        event = Event(when, seq, callback, label)
+        event._sim = self
+        heapq.heappush(self._queue, (when, seq, event))
         return event
 
     def schedule_at(self, when: int, callback: Callback, label: str = "") -> Event:
         """Schedule ``callback`` at absolute cycle ``when`` (>= now)."""
         if when < self.now:
             raise SimulationError(f"cannot schedule at {when}, now is {self.now}")
-        event = Event(int(when), next(self._seq), callback, label)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback, label)
+        event._sim = self
+        heapq.heappush(self._queue, (when, seq, event))
         return event
+
+    # ----------------------------------------------------------- cancelled
+    def _note_cancel(self) -> None:
+        """Account one freshly-cancelled queued event; maybe compact."""
+        self._cancelled += 1
+        queue = self._queue
+        if (len(queue) >= _COMPACT_MIN_QUEUE
+                and self._cancelled * 2 > len(queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled event from the heap, in place.
+
+        In place (slice assignment, not rebinding) so that a ``run()``
+        frame holding a local reference to the queue keeps seeing the
+        live list even when a callback triggers compaction mid-drain.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._cancelled = 0
 
     # ----------------------------------------------------------------- run
     def run(self, until: Optional[int] = None, max_events: int = 200_000_000) -> int:
@@ -79,25 +149,80 @@ class Simulator:
         Runs until the queue is empty, or the clock would pass ``until``
         (events at exactly ``until`` still fire).  Returns the final clock.
         """
+        if self.watchdog is not None or self._profile_clock is not None:
+            return self._run_observed(until, max_events)
+
+        # Fast loop: hot names bound locally, no watchdog or profiler
+        # branches, events_fired flushed once on the way out.
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self._queue:
-            event = self._queue[0]
+        try:
+            while queue:
+                when, _seq, event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    self._cancelled -= 1
+                    continue
+                if until is not None and when > until:
+                    self.now = until
+                    return until
+                pop(queue)
+                if when < self.now:
+                    raise SimulationError("event queue went backwards in time")
+                event._sim = None
+                self.now = when
+                event.callback()
+                fired += 1
+                if fired >= max_events and queue:
+                    self._raise_livelock(max_events)
+        finally:
+            self._events_fired += fired
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def _run_observed(self, until: Optional[int], max_events: int) -> int:
+        """The watched/profiled drain loop (see :meth:`run`)."""
+        queue = self._queue
+        clock = self._profile_clock
+        costs = self._label_costs
+        fired = 0
+        while queue:
+            when, _seq, event = queue[0]
             if event.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
+                self._cancelled -= 1
                 continue
-            if until is not None and event.when > until:
+            if until is not None and when > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._queue)
-            if event.when < self.now:
+            heapq.heappop(queue)
+            if when < self.now:
                 raise SimulationError("event queue went backwards in time")
-            self.now = event.when
-            event.callback()
+            event._sim = None
+            self.now = when
+            if clock is not None:
+                start = clock()
+                event.callback()
+                elapsed = clock() - start
+                bucket = costs.get(event.label)
+                if bucket is None:
+                    costs[event.label] = [1, elapsed, elapsed, elapsed]
+                else:
+                    bucket[0] += 1
+                    bucket[1] += elapsed
+                    if elapsed < bucket[2]:
+                        bucket[2] = elapsed
+                    if elapsed > bucket[3]:
+                        bucket[3] = elapsed
+            else:
+                event.callback()
             fired += 1
             self._events_fired += 1
             if self.watchdog is not None:
                 self.watchdog.observe(event.label, self.now)
-            if fired >= max_events and self._queue:
+            if fired >= max_events and queue:
                 self._raise_livelock(max_events)
         if until is not None and until > self.now:
             self.now = until
@@ -114,21 +239,52 @@ class Simulator:
     def step(self) -> bool:
         """Fire the single next pending event.  Returns False when idle."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            when, _seq, event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            if event.when < self.now:
+            if when < self.now:
                 raise SimulationError("event queue went backwards in time")
-            self.now = event.when
+            event._sim = None
+            self.now = when
             event.callback()
             self._events_fired += 1
             return True
         return False
 
+    # ----------------------------------------------------------- profiling
+    def enable_profiling(self, clock: Callable[[], float]) -> None:
+        """Record per-label callback costs using ``clock`` (host seconds).
+
+        The engine never reads a clock on its own: the caller supplies
+        one (see :mod:`repro.perf.profile`), keeping the default
+        simulation path free of any wall-clock dependence.
+        """
+        self._profile_clock = clock
+        if self._label_costs is None:
+            self._label_costs = {}
+
+    def disable_profiling(self) -> None:
+        """Stop recording callback costs (retains collected data)."""
+        self._profile_clock = None
+
+    def label_costs(self) -> Dict[str, Dict[str, float]]:
+        """Collected per-label costs: count/total/min/max seconds."""
+        costs = self._label_costs or {}
+        return {
+            (label or "<unlabelled>"): {
+                "count": bucket[0],
+                "total_s": bucket[1],
+                "min_s": bucket[2],
+                "max_s": bucket[3],
+            }
+            for label, bucket in sorted(costs.items())
+        }
+
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled
 
     def queue_labels(self, limit: Optional[int] = None) -> Dict[str, int]:
         """Histogram of pending-event labels, most frequent first.
@@ -137,7 +293,7 @@ class Simulator:
         full of?" — a livelock usually shows one label dominating.
         """
         counts: Dict[str, int] = {}
-        for event in self._queue:
+        for _when, _seq, event in self._queue:
             if not event.cancelled:
                 label = event.label or "<unlabelled>"
                 counts[label] = counts.get(label, 0) + 1

@@ -74,30 +74,41 @@ def sweep_sequential(fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
                      buffer_size: int = 4 * MB,
                      config: Optional[SystemConfig] = None
                      ) -> List[Dict[str, float]]:
-    """Fig. 12 series: normalized runtime for every variant."""
+    """Fig. 12 series: normalized runtime for every variant.
+
+    Every (fraction, variant) point is independent, so the sweep fans
+    out through :func:`~repro.perf.runner.sim_map` (``REPRO_JOBS``
+    workers + result cache); the memcpy run doubles as that fraction's
+    normalization base, exactly as in the serial sweep.
+    """
+    from repro.perf.runner import SimPoint, sim_map
+
     config = config or SystemConfig()
-    rows: List[Dict[str, float]] = []
+    variants = (
+        ("memcpy", "memcpy", {}),
+        ("zio", "zio", {}),
+        ("mcsquare", "mcsquare", {}),
+        ("mcsquare_aligned", "mcsquare", {"misalign": 0}),
+        ("mcsquare_noprefetch", "mcsquare",
+         {"config": config.with_overrides(prefetch_enabled=False)}),
+    )
+    points: List[SimPoint] = []
     for fraction in fractions:
-        base = run_sequential_access("memcpy", fraction, buffer_size,
-                                     config=config)["cycles"]
-        for label, kwargs in (
-            ("memcpy", {}),
-            ("zio", {}),
-            ("mcsquare", {}),
-            ("mcsquare_aligned", {"misalign": 0}),
-            ("mcsquare_noprefetch",
-             {"config": config.with_overrides(prefetch_enabled=False)}),
-        ):
-            name = "mcsquare" if label.startswith("mcsquare") else label
-            if label == "memcpy":
-                cycles = base
-            else:
-                run_kwargs = dict(buffer_size=buffer_size, config=config)
-                run_kwargs.update(kwargs)
-                cycles = run_sequential_access(name, fraction,
-                                               **run_kwargs)["cycles"]
+        for _label, name, kwargs in variants:
+            run_kwargs = dict(buffer_size=buffer_size, config=config)
+            run_kwargs.update(kwargs)
+            points.append(SimPoint(run_sequential_access,
+                                   (name, fraction), run_kwargs))
+    results = sim_map(points)
+    rows: List[Dict[str, float]] = []
+    index = 0
+    for fraction in fractions:
+        base = results[index]["cycles"]  # memcpy is first per fraction
+        for label, _name, _kwargs in variants:
+            cycles = results[index]["cycles"]
             rows.append({"fraction": fraction, "variant": label,
                          "cycles": cycles, "normalized": cycles / base})
+            index += 1
     return rows
 
 
@@ -162,28 +173,37 @@ def sweep_random(fractions=(0.125, 0.25, 0.5, 1.0),
                  buffer_size: int = 4 * MB,
                  config: Optional[SystemConfig] = None
                  ) -> List[Dict[str, float]]:
-    """Fig. 13 series: normalized runtime for every variant."""
+    """Fig. 13 series: normalized runtime for every variant.
+
+    Fans out through :func:`~repro.perf.runner.sim_map`; see
+    :func:`sweep_sequential`.
+    """
+    from repro.perf.runner import SimPoint, sim_map
+
     config = config or SystemConfig()
-    rows: List[Dict[str, float]] = []
+    variants = (
+        ("memcpy", "memcpy", {}),
+        ("zio", "zio", {}),
+        ("mcsquare", "mcsquare", {}),
+        ("mcsquare_aligned", "mcsquare", {"misalign": 0}),
+        ("mcsquare_nowriteback", "mcsquare",
+         {"config": config.with_overrides(bounce_writeback=False)}),
+    )
+    points: List[SimPoint] = []
     for fraction in fractions:
-        base = run_random_access("memcpy", fraction, buffer_size,
-                                 config=config)["cycles"]
-        variants = (
-            ("memcpy", "memcpy", {}),
-            ("zio", "zio", {}),
-            ("mcsquare", "mcsquare", {}),
-            ("mcsquare_aligned", "mcsquare", {"misalign": 0}),
-            ("mcsquare_nowriteback", "mcsquare",
-             {"config": config.with_overrides(bounce_writeback=False)}),
-        )
-        for label, name, kwargs in variants:
-            if label == "memcpy":
-                cycles = base
-            else:
-                run_kwargs = dict(buffer_size=buffer_size, config=config)
-                run_kwargs.update(kwargs)
-                cycles = run_random_access(name, fraction,
-                                           **run_kwargs)["cycles"]
+        for _label, name, kwargs in variants:
+            run_kwargs = dict(buffer_size=buffer_size, config=config)
+            run_kwargs.update(kwargs)
+            points.append(SimPoint(run_random_access,
+                                   (name, fraction), run_kwargs))
+    results = sim_map(points)
+    rows: List[Dict[str, float]] = []
+    index = 0
+    for fraction in fractions:
+        base = results[index]["cycles"]  # memcpy is first per fraction
+        for label, _name, _kwargs in variants:
+            cycles = results[index]["cycles"]
             rows.append({"fraction": fraction, "variant": label,
                          "cycles": cycles, "normalized": cycles / base})
+            index += 1
     return rows

@@ -10,7 +10,7 @@ is the per-line CLWB writeback versus sending the MCLAZY packets.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
 from repro import System, SystemConfig
 from repro.isa import ops
@@ -104,14 +104,18 @@ def sweep_copy_latency(sizes: List[int],
                        config: Optional[SystemConfig] = None
                        ) -> List[Dict[str, object]]:
     """Fig. 10 rows: one dict per (size, variant) with latency in ns."""
-    rows: List[Dict[str, object]] = []
+    from repro.perf.runner import SimPoint, sim_map
+
+    points: List[SimPoint] = []
+    labels: List[Dict[str, object]] = []
     for size in sizes:
         for engine in engines:
-            result = measure_copy_latency(engine, size, config=config)
-            rows.append({"size": size, "variant": engine, **result})
+            points.append(SimPoint(measure_copy_latency, (engine, size),
+                                   {"config": config}))
+            labels.append({"size": size, "variant": engine})
         if include_touched:
-            result = measure_copy_latency("memcpy", size, touched=True,
-                                          config=config)
-            rows.append({"size": size, "variant": "touched_memcpy",
-                         **result})
-    return rows
+            points.append(SimPoint(measure_copy_latency, ("memcpy", size),
+                                   {"touched": True, "config": config}))
+            labels.append({"size": size, "variant": "touched_memcpy"})
+    results = sim_map(points)
+    return [{**label, **result} for label, result in zip(labels, results)]

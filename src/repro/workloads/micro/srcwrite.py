@@ -51,12 +51,20 @@ def sweep_bpq(buffer_sizes=(16 * KB, 64 * KB, 256 * KB),
               config: Optional[SystemConfig] = None
               ) -> List[Dict[str, float]]:
     """Fig. 21 rows: runtime normalized to the 1-entry BPQ per size."""
+    from repro.perf.runner import SimPoint, sim_map
+
+    points = [SimPoint(run_source_write, (size, entries),
+                       {"config": config})
+              for size in buffer_sizes for entries in bpq_sizes]
+    results = sim_map(points)
     rows: List[Dict[str, float]] = []
-    for size in buffer_sizes:
+    index = 0
+    for _size in buffer_sizes:
         base: Optional[float] = None
-        for entries in bpq_sizes:
-            result = run_source_write(size, entries, config=config)
+        for _entries in bpq_sizes:
+            result = results[index]
             if base is None:
                 base = result["cycles"]
             rows.append({**result, "normalized": result["cycles"] / base})
+            index += 1
     return rows

@@ -1,0 +1,81 @@
+"""Parallel sweeps must be bit-identical to serial ones.
+
+One sweep per workload family (access, latency, srcwrite) runs twice —
+serial and with four workers — with the result cache disabled so both
+runs actually simulate.  Row dicts must compare equal, and for the
+access family the full flattened StatGroup of a point run inside a
+worker must equal the same point run in-process: forking may not change
+a single counter.
+"""
+
+import pytest
+
+from repro.common.units import KB
+from repro.perf.microbench import seq_access_stats_point
+from repro.perf.runner import SimPoint, sim_map
+from repro.system.config import SystemConfig
+from repro.workloads.micro.access import sweep_sequential
+from repro.workloads.micro.latency import sweep_copy_latency
+from repro.workloads.micro.srcwrite import sweep_bpq
+
+SMALL = SystemConfig(l1_size=8 * KB, l2_size=64 * KB)
+
+
+@pytest.fixture(autouse=True)
+def _no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_SIMCACHE", "off")
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_PERF_WORKER", raising=False)
+
+
+def _with_jobs(monkeypatch, jobs):
+    monkeypatch.setenv("REPRO_JOBS", str(jobs))
+
+
+def test_sweep_sequential_parallel_is_bit_identical(monkeypatch):
+    kwargs = dict(fractions=(0.0, 0.5), buffer_size=32 * KB, config=SMALL)
+    _with_jobs(monkeypatch, 1)
+    serial = sweep_sequential(**kwargs)
+    _with_jobs(monkeypatch, 4)
+    parallel = sweep_sequential(**kwargs)
+    assert serial == parallel
+    assert [r["variant"] for r in serial[:5]] == [
+        "memcpy", "zio", "mcsquare", "mcsquare_aligned",
+        "mcsquare_noprefetch"]
+
+
+def test_sweep_copy_latency_parallel_is_bit_identical(monkeypatch):
+    kwargs = dict(sizes=[256, 4 * KB], config=SMALL)
+    _with_jobs(monkeypatch, 1)
+    serial = sweep_copy_latency(**kwargs)
+    _with_jobs(monkeypatch, 4)
+    parallel = sweep_copy_latency(**kwargs)
+    assert serial == parallel
+    assert len(serial) == 2 * 4  # 3 engines + touched_memcpy per size
+
+
+def test_sweep_bpq_parallel_is_bit_identical(monkeypatch):
+    kwargs = dict(buffer_sizes=(4 * KB,), bpq_sizes=(1, 2, 4),
+                  config=SMALL)
+    _with_jobs(monkeypatch, 1)
+    serial = sweep_bpq(**kwargs)
+    _with_jobs(monkeypatch, 4)
+    parallel = sweep_bpq(**kwargs)
+    assert serial == parallel
+    assert serial[0]["normalized"] == 1.0
+
+
+def test_stat_groups_identical_across_fork(monkeypatch):
+    """Every flattened stat — not just the reported rows — must match."""
+    point = SimPoint(seq_access_stats_point, (),
+                     {"buffer_size": 16 * KB, "fraction": 0.5})
+    _with_jobs(monkeypatch, 1)
+    [in_process] = sim_map([point], cache=False)
+    _with_jobs(monkeypatch, 4)
+    # Two copies of the same point so the pool path actually engages
+    # (a single-point sweep short-circuits to serial).
+    forked = sim_map([point, point], cache=False)
+    for result in forked:
+        assert result["stats"] == in_process["stats"]
+        assert result["cycles"] == in_process["cycles"]
+        assert result["events"] == in_process["events"]

@@ -123,6 +123,125 @@ class TestStep:
         assert sim.pending == 1
 
 
+def _live_scan(sim):
+    """The O(n) definition of pending the counter must agree with."""
+    return sum(1 for _w, _s, e in sim._queue if not e.cancelled)
+
+
+class TestPendingCounter:
+    def test_pending_matches_scan_after_cancels(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending == _live_scan(sim) == 5
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        fired = sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run(until=1)
+        fired.cancel()          # already popped: must be a no-op
+        assert sim.pending == _live_scan(sim) == 1
+
+    def test_self_cancel_during_callback(self):
+        sim = Simulator()
+        holder = {}
+        holder["e"] = sim.schedule(1, lambda: holder["e"].cancel())
+        sim.run()
+        assert sim.pending == _live_scan(sim) == 0
+
+    def test_pending_accurate_from_within_callback(self):
+        # verification.ConsistencyChecker reads sim.pending mid-run.
+        sim = Simulator()
+        seen = []
+        sim.schedule(1, lambda: seen.append(sim.pending))
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert seen == [1]
+
+
+class TestCompaction:
+    def test_cancelled_majority_is_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # Compaction kicked in: the heap shrank and the dead fraction
+        # never exceeds half the queue.
+        assert sim.pending == 50
+        assert len(sim._queue) < 200
+        dead = len(sim._queue) - sim.pending
+        assert dead * 2 <= len(sim._queue)
+        order = []
+        for event in events[150:]:
+            event.callback = (lambda w=event.when: order.append(w))
+        sim.run()
+        assert order == sorted(order)
+        assert len(order) == 50
+
+    def test_small_queues_are_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Below the compaction floor: dead events linger until popped.
+        assert len(sim._queue) == 10
+        assert sim.pending == 0
+        sim.run()
+        assert len(sim._queue) == 0
+
+    def test_compaction_during_run_preserves_order(self):
+        sim = Simulator()
+        fired = []
+        victims = []
+
+        def killer():
+            for event in victims:
+                event.cancel()
+
+        sim.schedule(1, killer)
+        victims.extend(sim.schedule(50, lambda: fired.append("dead"))
+                       for _ in range(200))
+        for t in (10, 20, 30):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == [10, 20, 30]
+        assert sim.pending == 0
+
+
+class TestProfilingHook:
+    def test_label_costs_collected_with_injected_clock(self):
+        sim = Simulator()
+        ticks = iter(range(1000))
+        sim.enable_profiling(lambda: float(next(ticks)))
+        sim.schedule(1, lambda: None, label="alpha")
+        sim.schedule(2, lambda: None, label="alpha")
+        sim.schedule(3, lambda: None)
+        sim.run()
+        costs = sim.label_costs()
+        assert costs["alpha"]["count"] == 2
+        assert costs["alpha"]["total_s"] == 2.0  # 1 tick per callback
+        assert costs["<unlabelled>"]["count"] == 1
+        sim.disable_profiling()
+        sim.schedule(1, lambda: None, label="alpha")
+        sim.run()
+        assert sim.label_costs()["alpha"]["count"] == 2
+
+    def test_profiling_does_not_change_results(self):
+        def trace(sim):
+            order = []
+            for t in (5, 1, 3):
+                sim.schedule(t, lambda t=t: order.append((t, sim.now)))
+            sim.run()
+            return order, sim.now, sim.events_fired
+
+        plain = trace(Simulator())
+        profiled_sim = Simulator()
+        profiled_sim.enable_profiling(lambda: 0.0)
+        assert trace(profiled_sim) == plain
+
+
 class TestLivelockGuard:
     def test_max_events_raises(self):
         sim = Simulator()
@@ -176,7 +295,7 @@ class TestTimeMonotonicity:
         sim.schedule(10, lambda: None)
         sim.run()
         assert sim.now == 10
-        heapq.heappush(sim._queue, Event(3, 999, lambda: None))
+        heapq.heappush(sim._queue, (3, 999, Event(3, 999, lambda: None)))
         return sim
 
     def test_run_rejects_backwards_time(self):

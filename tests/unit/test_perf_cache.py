@@ -1,0 +1,114 @@
+"""Unit tests for the persistent sim-result cache (repro.perf.cache)."""
+
+import json
+
+import pytest
+
+from repro.perf.cache import (MISS, SimCache, Unkeyable, cache_enabled,
+                              canonicalize, code_stamp, point_key)
+from repro.system.config import SystemConfig
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        for value in (1, 1.5, "x", True, None):
+            assert canonicalize(value) == value
+
+    def test_tuples_become_lists(self):
+        assert canonicalize((1, (2, 3))) == [1, [2, 3]]
+
+    def test_dict_keys_sorted(self):
+        assert list(canonicalize({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_config_encodes_field_by_field(self):
+        out = canonicalize(SystemConfig(l1_size=1234))
+        assert out["__dataclass__"].endswith("SystemConfig")
+        assert out["fields"]["l1_size"] == 1234
+
+    def test_unkeyable_raises(self):
+        with pytest.raises(Unkeyable):
+            canonicalize(object())
+        with pytest.raises(Unkeyable):
+            canonicalize({1: "non-string key"})
+
+
+class TestPointKey:
+    def test_stable_across_calls(self):
+        a = point_key("f", (1,), {"size": 2}, "quick")
+        b = point_key("f", (1,), {"size": 2}, "quick")
+        assert a == b
+
+    def test_distinguishes_everything(self):
+        base = point_key("f", (1,), {"size": 2}, "quick")
+        assert point_key("g", (1,), {"size": 2}, "quick") != base
+        assert point_key("f", (2,), {"size": 2}, "quick") != base
+        assert point_key("f", (1,), {"size": 3}, "quick") != base
+        assert point_key("f", (1,), {"size": 2}, "full") != base
+
+    def test_config_values_reach_the_key(self):
+        small = point_key("f", (), {"config": SystemConfig(l1_size=1)},
+                          "quick")
+        large = point_key("f", (), {"config": SystemConfig(l1_size=2)},
+                          "quick")
+        assert small != large
+
+    def test_code_stamp_is_hex_and_cached(self):
+        assert code_stamp() == code_stamp()
+        int(code_stamp(), 16)
+
+
+class TestSimCache:
+    def test_get_put_roundtrip(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert store.get(key) is MISS
+        assert store.put(key, "f", {"cycles": 7})
+        assert store.get(key) == {"cycles": 7}
+
+    def test_unjsonable_value_is_refused(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "cd" + "0" * 62
+        assert not store.put(key, "f", {"cycles": object()})
+        assert store.get(key) is MISS
+
+    def test_lossy_roundtrip_is_refused(self, tmp_path):
+        # Tuples decode as lists — not bit-identical, so not cached.
+        store = SimCache(tmp_path)
+        key = "ef" + "0" * 62
+        assert not store.put(key, "f", {"pair": (1, 2)})
+        assert store.get(key) is MISS
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "12" + "0" * 62
+        store.put(key, "f", [1, 2, 3])
+        store._path(key).write_text("{not json", encoding="utf-8")
+        assert store.get(key) is MISS
+
+    def test_clear_and_info(self, tmp_path):
+        store = SimCache(tmp_path)
+        for i in range(3):
+            store.put(f"{i:02d}" + "0" * 62, "f", i)
+        info = store.info()
+        assert info["entries"] == 3 and info["bytes"] > 0
+        assert store.clear() == 3
+        assert store.info()["entries"] == 0
+
+    def test_files_are_valid_json_with_fn_name(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "34" + "0" * 62
+        store.put(key, "repro.workloads.x", {"cycles": 1})
+        data = json.loads(store._path(key).read_text())
+        assert data["fn"] == "repro.workloads.x"
+
+
+class TestEnableSwitch:
+    def test_simcache_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCACHE", "off")
+        assert not cache_enabled()
+        monkeypatch.setenv("REPRO_SIMCACHE", "OFF")
+        assert not cache_enabled()
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMCACHE", raising=False)
+        assert cache_enabled()

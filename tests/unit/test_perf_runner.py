@@ -1,0 +1,98 @@
+"""Unit tests for the parallel sweep runner (repro.perf.runner)."""
+
+import os
+
+from repro.perf.cache import SimCache
+from repro.perf.runner import SimPoint, jobs_from_env, sim_map
+
+# Points must be module-level so they pickle into fork workers.
+
+
+def square(x):
+    return {"x": x, "sq": x * x}
+
+
+def with_kwargs(x, offset=0):
+    return x + offset
+
+
+def record_env(_i):
+    return {"worker": os.environ.get("REPRO_PERF_WORKER", ""),
+            "jobs": os.environ.get("REPRO_JOBS", "")}
+
+
+def unkeyable_arg(obj):  # ``obj`` defeats canonicalization
+    return 99
+
+
+class TestSimMap:
+    def test_results_in_input_order(self):
+        points = [SimPoint(square, (i,)) for i in range(8)]
+        results = sim_map(points, jobs=1, cache=False)
+        assert [r["x"] for r in results] == list(range(8))
+
+    def test_parallel_matches_serial(self):
+        points = [SimPoint(with_kwargs, (i,), {"offset": 100})
+                  for i in range(6)]
+        serial = sim_map(points, jobs=1, cache=False)
+        parallel = sim_map(points, jobs=2, cache=False)
+        assert serial == parallel == [100 + i for i in range(6)]
+
+    def test_workers_are_marked_serial(self):
+        results = sim_map([SimPoint(record_env, (i,)) for i in range(4)],
+                          jobs=2, cache=False)
+        # Either forked workers (marked + forced serial) or the serial
+        # fallback path (no marker) — both must agree across points.
+        assert len({(r["worker"], r["jobs"]) for r in results}) <= 2
+        for r in results:
+            if r["worker"]:
+                assert r["jobs"] == "1"
+
+    def test_jobs_default_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF_WORKER", raising=False)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert jobs_from_env() == 4
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert jobs_from_env() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_PERF_WORKER", "1")
+        assert jobs_from_env() == 1  # nested sweeps stay serial
+
+
+class TestSimMapCaching:
+    def test_second_run_hits_the_store(self, tmp_path):
+        store = SimCache(tmp_path)
+        points = [SimPoint(square, (i,)) for i in range(3)]
+        first = sim_map(points, jobs=1, store=store)
+        assert store.info()["entries"] == 3
+        second = sim_map(points, jobs=1, store=store)
+        assert first == second
+
+    def test_cached_value_is_returned_not_recomputed(self, tmp_path):
+        from repro.perf.cache import point_key
+        store = SimCache(tmp_path)
+        point = SimPoint(square, (5,))
+        key = point_key(point.name, point.args, point.kwargs, "quick")
+        store.put(key, point.name, {"x": 5, "sq": -1})  # poisoned entry
+        [result] = sim_map([point], jobs=1, store=store, scale="quick")
+        assert result == {"x": 5, "sq": -1}  # proof the store was used
+
+    def test_unkeyable_points_still_run(self, tmp_path):
+        store = SimCache(tmp_path)
+        [result] = sim_map([SimPoint(unkeyable_arg, (object(),))],
+                           jobs=1, store=store)
+        assert result == 99
+        assert store.info()["entries"] == 0  # nothing cached
+
+    def test_cache_false_bypasses_store(self, tmp_path):
+        store = SimCache(tmp_path)
+        sim_map([SimPoint(square, (1,))], jobs=1, cache=False, store=store)
+        assert store.info()["entries"] == 0
+
+    def test_scale_partitions_the_store(self, tmp_path):
+        store = SimCache(tmp_path)
+        sim_map([SimPoint(square, (1,))], jobs=1, store=store,
+                scale="quick")
+        sim_map([SimPoint(square, (1,))], jobs=1, store=store,
+                scale="full")
+        assert store.info()["entries"] == 2

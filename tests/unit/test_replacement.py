@@ -43,7 +43,7 @@ class TestRandom:
         cache = build(RandomPolicy())
         for i in range(4):
             cache.fill(i * CL, bytes(CL), now=i)
-        cset = cache._set_of(0)
+        cset = cache._sets[0]
         v1 = cache.policy.victim(cset, now=123)
         v2 = cache.policy.victim(cset, now=123)
         assert v1 == v2
@@ -53,7 +53,7 @@ class TestRandom:
         cache = build(RandomPolicy())
         for i in range(4):
             cache.fill(i * CL, bytes(CL), now=i)
-        cset = cache._set_of(0)
+        cset = cache._sets[0]
         victims = {cache.policy.victim(cset, now=t) for t in range(50)}
         assert len(victims) > 1
 
