@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze sarif lint baseline all bench bench-full bench-smoke perf-baseline
+.PHONY: test analyze analyze-tests analyze-diff simsan-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline
 
 all: analyze test
 
@@ -31,6 +31,19 @@ perf-baseline:
 
 analyze:
 	$(PYTHON) -m repro.analysis src/repro
+
+# Fork-safety / cache-soundness / stale-noqa families only; the planted
+# sanitizer fixtures are excluded because they violate them on purpose.
+analyze-tests:
+	$(PYTHON) -m repro.analysis tests benchmarks --select MC2401,MC2402,MC2403,MC2404,MC2501,MC2502,MC2503,MC2901 --exclude tests/unit/simsan_plants.py
+
+# Exit non-zero only on findings not in analysis-baseline.json.
+analyze-diff:
+	$(PYTHON) -m repro.analysis src/repro --diff
+
+# One real sweep under the runtime sanitizer (docs/ANALYSIS.md).
+simsan-smoke:
+	REPRO_SIMSAN=1 REPRO_JOBS=2 REPRO_SIMCACHE=off $(PYTHON) -m pytest benchmarks/test_fig12_seq_access.py -x -q -p no:cacheprovider
 
 sarif:
 	$(PYTHON) -m repro.analysis src/repro --format sarif --output mc2-analyze.sarif || true

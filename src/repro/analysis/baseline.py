@@ -112,3 +112,24 @@ def apply(findings: List[Finding],
     for finding, digest in fingerprints(findings):
         out.append(replace(finding, baselined=digest in baseline))
     return out
+
+
+def diff(findings: Iterable[Finding],
+         baseline: Dict[str, Dict[str, str]]
+         ) -> Tuple[List[Finding], List[Dict[str, str]]]:
+    """Compare current findings against a baseline: (new, fixed).
+
+    ``new`` is every unsuppressed finding whose fingerprint the baseline
+    does not contain — the reviewable delta a pull request introduces.
+    ``fixed`` is every baseline entry no current finding matches — debt
+    that has been paid off and should be dropped from the file.
+    Suppressed findings are not "new" (the suppression is in source and
+    MC2901 audits it), but they also cannot keep a baseline entry alive.
+    """
+    paired = fingerprints(findings)
+    current = {digest for _, digest in paired}
+    new = [finding for finding, digest in paired
+           if digest not in baseline and not finding.suppressed]
+    fixed = [entry for digest, entry in sorted(baseline.items())
+             if digest not in current]
+    return new, fixed

@@ -75,6 +75,30 @@ def _json_report(report: engine.Report) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def _diff_report(report: engine.Report, known, output: Optional[str]) -> int:
+    """Print the baseline delta; exit 1 only on *new* findings.
+
+    The delta is the reviewable unit for a pull request: ``+`` lines
+    are findings this change introduces, ``-`` lines are baseline
+    entries the change paid off (drop them with ``--write-baseline``).
+    """
+    new, fixed = baseline_mod.diff(report.findings, known)
+    lines: List[str] = []
+    for finding in new:
+        lines.append(f"+ {finding.location()}: {finding.rule} "
+                     f"{finding.message}")
+        if finding.snippet:
+            lines.append(f"      {finding.snippet}")
+    for entry in fixed:
+        lines.append(f"- {entry.get('path', '?')}: {entry.get('rule', '?')} "
+                     f"(baseline entry no longer matches)")
+    lines.append(f"baseline diff: {len(new)} new finding(s), "
+                 f"{len(fixed)} fixed baseline entr"
+                 f"{'y' if len(fixed) == 1 else 'ies'}")
+    _emit("\n".join(lines) + "\n", output)
+    return 1 if new else 0
+
+
 def _list_rules() -> str:
     lines = []
     for rule in all_rules():
@@ -105,6 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="record current findings into the baseline file and exit 0")
     parser.add_argument(
+        "--diff", action="store_true",
+        help="compare findings against the baseline and print the delta: "
+             "exit 1 only when *new* findings (absent from the baseline) "
+             "exist; also lists baseline entries that no longer match")
+    parser.add_argument(
+        "--exclude", metavar="PATH", action="append", default=[],
+        help="file or directory prefix to skip (repeatable); used to "
+             "carve planted sanitizer fixtures out of a lint sweep")
+    parser.add_argument(
         "--select", metavar="CODES", default=None,
         help="comma-separated rule codes to run (default: all)")
     parser.add_argument(
@@ -133,7 +166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         report = engine.run(paths, baseline_path=baseline_path,
-                            select=select)
+                            select=select, exclude=args.exclude)
+        if args.diff:
+            known = baseline_mod.load(args.baseline or DEFAULT_BASELINE)
+            return _diff_report(report, known, args.output)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -11,8 +11,11 @@ Two rule flavours exist:
 * **module rules** implement :meth:`Rule.check_module` and see one file
   at a time (purely syntactic checks);
 * **project rules** implement :meth:`Rule.check_project` and see every
-  parsed module together (interprocedural passes such as the
-  poison-taint walk).
+  parsed module together through a
+  :class:`~repro.analysis.callgraph.ProjectContext` (interprocedural
+  passes such as the poison-taint walk and the fork-safety and
+  cache-soundness families, which share the context's call graph and
+  ``SimPoint`` worker-reachability closure).
 """
 
 from __future__ import annotations
@@ -79,8 +82,14 @@ class Rule:
         """Yield findings for one file (syntactic rules)."""
         return iter(())
 
-    def check_project(self, modules: List[Module]) -> Iterator[Finding]:
-        """Yield findings needing the whole project (dataflow rules)."""
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings needing the whole project (dataflow rules).
+
+        ``project`` is a :class:`~repro.analysis.callgraph
+        .ProjectContext`; its ``modules`` list carries every parsed
+        file, and its lazy ``graph``/``workers``/``reached`` properties
+        are shared across all project rules in one run.
+        """
         return iter(())
 
 
@@ -162,6 +171,9 @@ def module_imports(tree: ast.Module) -> Dict[str, str]:
 
     ``import time`` yields ``{"time": "time"}``; ``from repro.sim.stats
     import Counter as C`` yields ``{"C": "repro.sim.stats.Counter"}``.
+    Relative imports keep their level dots (``from . import plants`` ->
+    ``{"plants": ".plants"}``) so they register as imports without ever
+    matching an absolute dotted pattern.
     """
     out: Dict[str, str] = {}
     for node in tree.body:
@@ -169,9 +181,13 @@ def module_imports(tree: ast.Module) -> Dict[str, str]:
             for alias in node.names:
                 local = alias.asname or alias.name.split(".")[0]
                 out[local] = alias.name
-        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            if not prefix:
+                continue
+            sep = "" if prefix.endswith(".") else "."
             for alias in node.names:
-                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+                out[alias.asname or alias.name] = f"{prefix}{sep}{alias.name}"
     return out
 
 

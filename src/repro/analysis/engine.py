@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis import baseline as baseline_mod
 from repro.analysis import noqa
+from repro.analysis.callgraph import ProjectContext
 from repro.analysis.core import Finding, Module, all_rules
 from repro.common.errors import ConfigError
 
@@ -37,8 +38,22 @@ def _guess_package(path: str) -> str:
     return stem
 
 
-def collect_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def _is_excluded(path: str, exclude: Sequence[str]) -> bool:
+    norm = os.path.normpath(path)
+    for prefix in exclude:
+        pref = os.path.normpath(prefix)
+        if norm == pref or norm.startswith(pref + os.sep):
+            return True
+    return False
+
+
+def collect_files(paths: Sequence[str],
+                  exclude: Sequence[str] = ()) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    ``exclude`` lists file or directory prefixes to drop — e.g. planted
+    sanitizer fixtures that *intentionally* violate the rules.
+    """
     out: List[str] = []
     for path in paths:
         if os.path.isfile(path):
@@ -51,6 +66,7 @@ def collect_files(paths: Sequence[str]) -> List[str]:
                         out.append(os.path.join(root, name))
         else:
             raise ConfigError(f"no such file or directory: {path!r}")
+    out = [p for p in out if not _is_excluded(p, exclude)]
     return sorted(dict.fromkeys(out))
 
 
@@ -75,6 +91,56 @@ def parse_modules(files: Iterable[str]) -> List[Module]:
                               lines=source.splitlines(),
                               package=_guess_package(path)))
     return modules
+
+
+def _stale_suppressions(modules: List[Module],
+                        tables: Dict[str, Dict[int, frozenset]],
+                        findings: List[Finding],
+                        ran_codes: set,
+                        full_run: bool) -> List[Finding]:
+    """MC2901: ``# noqa`` markers that suppress nothing on their line.
+
+    Select-aware: a coded marker is stale only when every listed
+    analyzer code actually ran this pass and none fired on the line;
+    codes of other tools (``F401`` …) or unknown/un-run codes make the
+    marker indeterminate and it is left alone.  A bare marker is stale
+    only on a full-rule-set run with no finding of any kind on its
+    line.
+    """
+    from repro.analysis.rules.hygiene import MC_CODE_RE
+
+    fired: Dict[tuple, set] = {}
+    for f in findings:
+        fired.setdefault((f.path, f.line), set()).add(f.rule)
+
+    out: List[Finding] = []
+    for module in modules:
+        for line, codes in sorted(tables.get(module.path, {}).items()):
+            hits = fired.get((module.path, line), set())
+            text = module.line_text(line)
+            col = max(module.lines[line - 1].find("#"), 0) \
+                if 1 <= line <= len(module.lines) else 0
+            if codes is noqa.ALL or "*" in codes:
+                if full_run and not hits:
+                    out.append(Finding(
+                        rule="MC2901",
+                        message="bare '# noqa' suppresses nothing on this "
+                                "line; delete it (or list the specific "
+                                "codes it should suppress)",
+                        path=module.path, line=line, col=col, snippet=text))
+                continue
+            mc_codes = {c for c in codes if MC_CODE_RE.match(c)}
+            if not mc_codes or not mc_codes <= ran_codes:
+                continue
+            if not mc_codes & hits:
+                listed = ", ".join(sorted(mc_codes))
+                out.append(Finding(
+                    rule="MC2901",
+                    message=f"'# noqa: {listed}' suppresses nothing on "
+                            f"this line; the finding it silenced is gone "
+                            f"— delete the suppression",
+                    path=module.path, line=line, col=col, snippet=text))
+    return out
 
 
 @dataclass
@@ -105,12 +171,14 @@ class Report:
 
 
 def run(paths: Sequence[str], baseline_path: Optional[str] = None,
-        select: Optional[Sequence[str]] = None) -> Report:
+        select: Optional[Sequence[str]] = None,
+        exclude: Sequence[str] = ()) -> Report:
     """Analyze ``paths`` and return a :class:`Report`.
 
-    ``select`` restricts to the given rule codes (all rules otherwise).
+    ``select`` restricts to the given rule codes (all rules otherwise);
+    ``exclude`` drops file/directory prefixes from collection.
     """
-    files = collect_files(paths)
+    files = collect_files(paths, exclude=exclude)
     modules = parse_modules(files)
     rules = all_rules()
     if select:
@@ -133,14 +201,30 @@ def run(paths: Sequence[str], baseline_path: Optional[str] = None,
         for rule in rules:
             findings.extend(rule.check_module(module))
     parsed = [m for m in modules if getattr(m, "parse_error", None) is None]
+    project = ProjectContext(parsed)
     for rule in rules:
-        findings.extend(rule.check_project(parsed))
+        findings.extend(rule.check_project(project))
 
-    # Per-line suppressions.
-    tables = {m.path: noqa.suppressions(m.lines) for m in modules}
+    # Per-line suppressions (tokenize-aware: strings containing
+    # "# noqa" are data, not markers).
+    tables = {m.path: noqa.suppressions(m.lines, source=m.source)
+              for m in modules}
+
+    # MC2901 post-pass: needs the raw findings *and* the marker table,
+    # so it cannot run as a normal rule hook.
+    if any(r.code == "MC2901" for r in rules):
+        findings.extend(_stale_suppressions(
+            parsed, tables, findings,
+            ran_codes={r.code for r in rules} - {"MC2901"},
+            full_run=select is None))
+
     findings = [
-        replace(f, suppressed=noqa.is_suppressed(
-            f.rule, f.line, tables.get(f.path, {})))
+        replace(f, suppressed=(
+            # The marker MC2901 flags must not suppress its own
+            # finding; a stale bare "# noqa" would otherwise
+            # self-suppress and never gate.
+            f.rule != "MC2901"
+            and noqa.is_suppressed(f.rule, f.line, tables.get(f.path, {}))))
         for f in findings
     ]
 

@@ -4,42 +4,90 @@ A finding is suppressed when the physical line it anchors to carries a
 ``# noqa`` comment — either bare (suppresses every rule on that line) or
 listing codes (``# noqa: MC2003`` or ``# noqa: MC2003, MC2104``).  The
 codes are matched case-insensitively.  Suppressions are surfaced in the
-report (``--show-suppressed``) rather than silently swallowed, so a
-stale ``noqa`` is visible during review.
+report (``--show-suppressed``) rather than silently swallowed, and the
+MC2901 hygiene pass flags any that no longer suppress anything.
+
+Markers are located with :mod:`tokenize` so that only *actual comments*
+count: a test fixture embedding ``"... # noqa"`` inside a string
+literal is data, not a suppression.  Sources that fail to tokenize
+(syntax errors already surfaced as MC2000) fall back to a line regex.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from typing import Dict, FrozenSet, List
+import tokenize
+from typing import Dict, FrozenSet, List, Optional
 
 #: Marker meaning "every rule suppressed on this line".
 ALL = frozenset({"*"})
 
 _NOQA_RE = re.compile(
-    r"#\s*noqa(?::\s*(?P<codes>[A-Za-z0-9, ]+))?", re.IGNORECASE)
+    r"#+\s*noqa(?::\s*(?P<codes>[A-Za-z0-9, ]+))?", re.IGNORECASE)
 
 
-def suppressions(lines: List[str]) -> Dict[int, FrozenSet[str]]:
+def _parse_marker(comment: str) -> Optional[FrozenSet[str]]:
+    """The code set for one comment text, or None without a marker.
+
+    The directive must open the comment (``x = 1  # noqa: MC2003``); a
+    comment merely *mentioning* ``# noqa`` mid-sentence is prose, not a
+    suppression.  A full source line (the regex fallback) is anchored
+    at its first ``#`` — where the comment starts.
+    """
+    if not comment.startswith("#"):
+        start = comment.find("#")
+        if start < 0:
+            return None
+        comment = comment[start:]
+    match = _NOQA_RE.match(comment)
+    if not match:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return ALL
+    parsed = frozenset(
+        c.strip().upper() for c in codes.split(",") if c.strip())
+    return parsed or ALL
+
+
+def _comment_lines(source: str) -> Optional[Dict[int, str]]:
+    """1-based line -> comment text, via tokenize (None on failure)."""
+    out: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                out[token.start[0]] = token.string
+    except (tokenize.TokenError, SyntaxError, ValueError,
+            IndentationError):
+        return None
+    return out
+
+
+def suppressions(lines: List[str],
+                 source: Optional[str] = None) -> Dict[int, FrozenSet[str]]:
     """Map 1-based line numbers to the set of suppressed rule codes.
 
     Bare ``# noqa`` maps to :data:`ALL`.  Lines without a marker are
-    absent from the mapping.
+    absent from the mapping.  When ``source`` is given, markers are
+    located through the tokenizer so string literals containing
+    ``# noqa`` are ignored; without it (or when tokenization fails) the
+    scan falls back to per-line regex matching.
     """
+    comments: Optional[Dict[int, str]] = None
+    if source is not None:
+        comments = _comment_lines(source)
+    if comments is None:
+        comments = {idx: text for idx, text in enumerate(lines, start=1)
+                    if "noqa" in text.lower()}
     out: Dict[int, FrozenSet[str]] = {}
-    for idx, text in enumerate(lines, start=1):
+    for idx, text in sorted(comments.items()):
         if "noqa" not in text.lower():
             continue
-        match = _NOQA_RE.search(text)
-        if not match:
-            continue
-        codes = match.group("codes")
-        if codes is None:
-            out[idx] = ALL
-        else:
-            parsed = frozenset(
-                c.strip().upper() for c in codes.split(",") if c.strip())
-            out[idx] = parsed or ALL
+        codes = _parse_marker(text)
+        if codes is not None:
+            out[idx] = codes
     return out
 
 

@@ -1,3 +1,4 @@
 """Rule modules self-register with the core registry on import."""
 
-from repro.analysis.rules import determinism, eventsafety, taint  # noqa: F401
+from repro.analysis.rules import (cachesoundness, determinism,  # noqa: F401
+                                  eventsafety, forksafety, hygiene, taint)

@@ -1,0 +1,232 @@
+"""Cache-soundness rules (MC2501-MC2503).
+
+The persistent result cache (:mod:`repro.perf.cache`) promises that a
+hit is **bit-identical** to a fresh run.  Its key covers exactly four
+things: the point's fully-qualified function name, its canonicalized
+arguments, ``REPRO_SCALE``, and a content hash of every source file
+under ``src/repro``.  Anything else that influences a cached function's
+result is a silent soundness hole — the cache returns yesterday's
+answer for today's question.  These rules close the three holes that
+matter for a ``SimPoint``-dispatched (hence cached) function:
+
+* **MC2501** — the result depends on an input outside the key: a
+  mutated module-level global, or bytes read from a file handle opened
+  inside the function;
+* **MC2502** — the returned value breaks the JSON round-trip contract
+  (tuples silently become lists; sets/bytes never cache at all, so the
+  sweep re-simulates forever without anyone noticing);
+* **MC2503** — the function's module imports code outside both
+  ``repro`` and the standard library, which the source-hash fingerprint
+  does not cover: editing that dependency never invalidates the store.
+
+Like the MC24xx family, findings anchor on *facts* inside the
+worker-reachability closure, and the orchestration layer itself
+(``repro.perf.runner``/``cache`` — whose file IO **is** the cache) is
+exempt; the ``REPRO_SIMSAN=1`` runtime sanitizer audits it dynamically
+by recomputing a slice of cache hits and comparing.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Iterator, List, Set
+
+from repro.analysis.callgraph import innermost_facts
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.rules.forksafety import _exempt
+
+#: Module roots the code-stamp fingerprint covers.
+_STAMPED_ROOT = "repro"
+
+_STDLIB: Set[str] = set(getattr(sys, "stdlib_module_names", ())) | {
+    # Minimal fallback for interpreters without stdlib_module_names.
+    "os", "sys", "json", "math", "random", "time", "struct", "hashlib",
+    "pathlib", "typing", "dataclasses", "collections", "itertools",
+    "functools", "re", "ast", "io", "abc", "enum", "heapq", "argparse",
+    "subprocess", "multiprocessing", "concurrent", "contextlib", "copy",
+    "pickle", "tokenize", "textwrap", "unittest", "warnings", "weakref",
+}
+
+#: Test-harness roots: they orchestrate runs but never feed the values a
+#: sim point computes, so the stamp legitimately ignores them.
+_HARNESS: Set[str] = {"pytest", "hypothesis", "pytest_benchmark"}
+
+
+def _mutated_globals(project, module_path: str) -> Set[str]:
+    """Global names some function of ``module_path`` actually writes.
+
+    A mutable module-level container that nothing ever mutates is a
+    constant lookup table, not a parameter; only written globals can
+    make a cached result stale.
+    """
+    out: Set[str] = set()
+    for fn in project.graph.functions.values():
+        if fn.module.path == module_path:
+            out.update(fn.global_writes)
+    return out
+
+
+@register
+class CacheKeyOmissionRule(Rule):
+    """MC2501: every input influencing a cached result must be keyed."""
+
+    code = "MC2501"
+    name = "cache-key-omission"
+    summary = "cached sim function reads state outside its cache key"
+    rationale = ("The simcache key is (function, args, scale, source "
+                 "hash). A dispatched function reading a mutated module "
+                 "global or a file's contents folds an unkeyed input into "
+                 "its result: the first run poisons the store and every "
+                 "later hit replays it, bit-identical to the wrong "
+                 "answer. Pass such inputs as explicit parameters.")
+
+    def check_project(self, project) -> Iterator[Finding]:
+        if not project.workers:
+            return
+        reached = [q for q in sorted(project.reached)
+                   if not _exempt(project.graph.functions[q].module.package)]
+
+        def facts_of(fn):
+            mutated = _mutated_globals(project, fn.module.path)
+            for name, nodes in sorted(fn.global_reads.items()):
+                if name in mutated:
+                    for node in nodes:
+                        yield node, f"global:{name}"
+            for node in fn.open_calls:
+                yield node, "open"
+
+        for fact in innermost_facts(project.graph, reached, facts_of):
+            if fact.label == "open":
+                message = ("open() on a cached sim-point path; file "
+                           "contents influence the result but are absent "
+                           "from the cache key — pass the data (or a "
+                           "content digest) as a parameter")
+            else:
+                name = fact.label.split(":", 1)[1]
+                message = (f"read of mutated module global '{name}' on a "
+                           f"cached sim-point path; its value influences "
+                           f"the result but is absent from the cache key, "
+                           f"so hits can replay stale state — pass it as "
+                           f"a parameter")
+            yield self.finding(fact.fn.module, fact.node, message)
+
+
+@register
+class JsonRoundTripRule(Rule):
+    """MC2502: cached results must survive the JSON round trip."""
+
+    code = "MC2502"
+    name = "uncacheable-result"
+    summary = "sim-point return value breaks the JSON round-trip contract"
+    rationale = ("SimCache.put only stores values that JSON reproduces "
+                 "exactly: a tuple comes back a list (a hit is no longer "
+                 "bit-identical), and sets/bytes/non-string keys are "
+                 "refused outright — the point silently re-simulates on "
+                 "every run, defeating the cache without any error. "
+                 "Return dicts of scalars, as every exhibit row does.")
+
+    def _offending(self, value: ast.AST) -> str:
+        if isinstance(value, ast.Tuple):
+            return "a tuple (JSON round-trips it into a list)"
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return "a set (not JSON-encodable; never cached)"
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            if value.func.id in ("set", "frozenset"):
+                return f"{value.func.id}() (not JSON-encodable; never cached)"
+            if value.func.id in ("bytes", "bytearray"):
+                return (f"{value.func.id}() (not JSON-encodable; "
+                        f"never cached)")
+        if isinstance(value, ast.Constant) and isinstance(value.value, bytes):
+            return "bytes (not JSON-encodable; never cached)"
+        if isinstance(value, ast.Dict):
+            for key in value.keys:
+                if (isinstance(key, ast.Constant)
+                        and not isinstance(key.value, str)):
+                    return (f"a dict with non-string key {key.value!r} "
+                            f"(JSON stringifies keys; the hit is not "
+                            f"bit-identical)")
+        return ""
+
+    def _own_returns(self, fn_node: ast.AST) -> List[ast.Return]:
+        """Return statements of the function itself, not of nested defs."""
+        out: List[ast.Return] = []
+        stack: List[ast.AST] = list(getattr(fn_node, "body", []))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Return):
+                out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for qualname in sorted(project.workers):
+            fn = project.graph.functions.get(qualname)
+            if fn is None or _exempt(fn.module.package):
+                continue
+            for ret in self._own_returns(fn.node):
+                if ret.value is None:
+                    continue
+                why = self._offending(ret.value)
+                if why:
+                    yield self.finding(
+                        fn.module, ret,
+                        f"{qualname} is dispatched through SimPoint but "
+                        f"returns {why}; return a JSON-clean dict of "
+                        f"scalars")
+
+
+@register
+class StampCoverageRule(Rule):
+    """MC2503: cached code must be covered by the source fingerprint."""
+
+    code = "MC2503"
+    name = "stamp-coverage"
+    summary = "cached sim path imports code the source hash does not cover"
+    rationale = ("The simcache invalidates on any edit under src/repro "
+                 "because the key embeds a content hash of exactly that "
+                 "tree. A module on a cached path importing code from "
+                 "anywhere else (a sibling project dir, a third-party "
+                 "package) re-introduces the staleness the stamp exists "
+                 "to prevent: edit the dependency and every old result "
+                 "still hits. Vendor the code under src/repro or fold a "
+                 "version marker into the point's parameters.")
+
+    def _import_roots(self, node: ast.AST) -> List[str]:
+        if isinstance(node, ast.Import):
+            return [alias.name.split(".")[0] for alias in node.names]
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            return [node.module.split(".")[0]]
+        return []
+
+    def check_project(self, project) -> Iterator[Finding]:
+        if not project.workers:
+            return
+        # Modules hosting at least one function on a cached path.
+        hot_paths: Set[str] = set()
+        for qualname in project.reached:
+            fn = project.graph.functions.get(qualname)
+            if fn is not None and not _exempt(fn.module.package):
+                hot_paths.add(fn.module.path)
+        seen: Set[tuple] = set()
+        for module in project.modules:
+            if module.path not in hot_paths:
+                continue
+            for node in ast.walk(module.tree):
+                for root in self._import_roots(node):
+                    if (root == _STAMPED_ROOT or root in _STDLIB
+                            or root in _HARNESS):
+                        continue
+                    key = (module.path, node.lineno, root)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.finding(
+                        module, node,
+                        f"module on a cached sim path imports '{root}', "
+                        f"which the src/repro source-hash fingerprint "
+                        f"does not cover; edits to it will not "
+                        f"invalidate cached results")

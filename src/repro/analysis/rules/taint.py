@@ -9,20 +9,20 @@ path that a test exercises; this pass closes the gap *statically* by
 flagging any function that moves functional line data without ever
 consulting or propagating poison state.
 
-The analysis is a conservative interprocedural reachability walk rather
-than a full dataflow engine:
+The pass is hosted on the shared call-graph IR
+(:mod:`repro.analysis.callgraph`): the graph enumerates every
+function/method in the poison-critical packages and records its call
+sites; this module contributes only the taint-specific facts —
 
-1. Every function/method in the poison-critical packages (``mcsquare``,
-   ``cache``, ``mem``, ``memctrl``, ``faults``) is summarized: does it
-   *read* line data (``read``/``read_line``/``.data`` access), does it
-   *write* line data (``write_line``, a backing/store ``write``, or a
-   ``.data`` attribute store), and does it *touch* poison state (any
-   reference to the poison vocabulary: ``poison``, ``poisoned``,
-   ``range_poisoned`` …)?
-2. A call graph is built by name matching within those packages and
-   poison-awareness is propagated through it — a function that delegates
-   movement to a poison-aware helper is itself safe.
-3. The data primitives themselves (``BackingStore.read*/write*``) do
+1. does a function *read* line data (``read``/``read_line``/``.data``
+   access), does it *write* line data (``write_line``, a backing/store
+   ``write``, or a ``.data`` attribute store), and does it *touch*
+   poison state (any reference to the poison vocabulary)?
+2. poison-awareness propagates callee->caller through
+   :meth:`~repro.analysis.callgraph.CallGraph.propagate_up` — a
+   function that delegates movement to a poison-aware helper is itself
+   safe;
+3. the data primitives themselves (``BackingStore.read*/write*``) do
    **not** confer awareness on their callers: ``write_line`` clears
    poison on overwrite, so a caller moving *derived* bytes must
    re-poison explicitly — exactly the mistake this pass exists to catch.
@@ -35,10 +35,10 @@ carry a ``# noqa: MC2301`` with a justification.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator
 
-from repro.analysis.core import Finding, Module, Rule, register
+from repro.analysis.callgraph import CallGraph, FunctionNode, walk_body
+from repro.analysis.core import Finding, Rule, register
 
 #: Packages whose functions move functional line data.
 TARGET_PACKAGES = (
@@ -95,97 +95,38 @@ def _is_data_read_call(node: ast.Call) -> bool:
     return False
 
 
-@dataclass
-class FunctionSummary:
-    """Flow-insensitive facts about one function."""
+class TaintFacts:
+    """Flow-insensitive poison facts for one graph function."""
 
-    qualname: str                  # e.g. "repro.mem.backing_store.BackingStore.copy"
-    name: str                      # bare function name
-    module: Module
-    node: ast.AST
-    reads_data: bool = False
-    writes_data: bool = False
-    touches_poison: bool = False
-    callees: Set[str] = field(default_factory=set)   # bare names called
-    aware: bool = False            # fixed point of poison awareness
+    __slots__ = ("reads_data", "writes_data", "touches_poison")
+
+    def __init__(self) -> None:
+        self.reads_data = False
+        self.writes_data = False
+        self.touches_poison = False
 
 
-def _summarize(module: Module, func: ast.AST, qualname: str) -> FunctionSummary:
-    summary = FunctionSummary(qualname=qualname, name=func.name,
-                              module=module, node=func)
-    for node in ast.walk(func):
+def taint_facts(fn: FunctionNode) -> TaintFacts:
+    """Walk ``fn``'s subtree for data movement and poison references."""
+    facts = TaintFacts()
+    for node in walk_body(fn.node):
         if isinstance(node, ast.Call):
             if _is_data_write_call(node):
-                summary.writes_data = True
+                facts.writes_data = True
             if _is_data_read_call(node):
-                summary.reads_data = True
-            callee = None
-            if isinstance(node.func, ast.Attribute):
-                callee = node.func.attr
-            elif isinstance(node.func, ast.Name):
-                callee = node.func.id
-            if callee:
-                summary.callees.add(callee)
+                facts.reads_data = True
         if isinstance(node, ast.Attribute):
             if node.attr in POISON_TOKENS:
-                summary.touches_poison = True
+                facts.touches_poison = True
             elif node.attr == "data" and isinstance(node.ctx, ast.Load):
                 # Reading another component's buffered line bytes (BPQ
                 # entries, packets) is a data *source* too.
-                summary.reads_data = True
+                facts.reads_data = True
             elif node.attr == "data" and isinstance(node.ctx, ast.Store):
-                summary.writes_data = True
+                facts.writes_data = True
         if isinstance(node, ast.Name) and node.id in POISON_TOKENS:
-            summary.touches_poison = True
-    return summary
-
-
-def collect_summaries(modules: List[Module]) -> List[FunctionSummary]:
-    """Summaries for every function in the poison-critical packages."""
-    summaries: List[FunctionSummary] = []
-    for module in modules:
-        if not any(module.package == pkg or module.package.startswith(pkg + ".")
-                   for pkg in TARGET_PACKAGES):
-            continue
-
-        def walk(body, prefix: str) -> None:
-            for node in body:
-                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    qualname = f"{prefix}.{node.name}"
-                    summaries.append(_summarize(module, node, qualname))
-                    walk(node.body, qualname)
-                elif isinstance(node, ast.ClassDef):
-                    walk(node.body, f"{prefix}.{node.name}")
-
-        walk(module.tree.body, module.package)
-    return summaries
-
-
-def propagate_awareness(summaries: List[FunctionSummary]) -> None:
-    """Fixed-point: a function is aware if it or a callee touches poison.
-
-    Callees resolve by bare name across the target packages (a sound
-    over-approximation for this codebase's method-call style), except
-    the raw data primitives, which never confer awareness.
-    """
-    by_name: Dict[str, List[FunctionSummary]] = {}
-    for summary in summaries:
-        by_name.setdefault(summary.name, []).append(summary)
-        summary.aware = summary.touches_poison
-
-    changed = True
-    while changed:
-        changed = False
-        for summary in summaries:
-            if summary.aware:
-                continue
-            for callee in summary.callees:
-                if callee in NON_CONFERRING:
-                    continue
-                if any(target.aware for target in by_name.get(callee, ())):
-                    summary.aware = True
-                    changed = True
-                    break
+            facts.touches_poison = True
+    return facts
 
 
 @register
@@ -200,13 +141,24 @@ class PoisonTaintRule(Rule):
                  "poisoned line stay marked. A mover that never mentions "
                  "poison silently launders corruption past the oracle.")
 
-    def check_project(self, modules: List[Module]) -> Iterator[Finding]:
-        summaries = collect_summaries(modules)
-        propagate_awareness(summaries)
-        for summary in summaries:
-            if summary.reads_data and summary.writes_data and not summary.aware:
+    def check_project(self, project) -> Iterator[Finding]:
+        # The taint walk needs its own *scoped* graph: bare-name
+        # awareness propagation is only sound within the
+        # poison-critical packages, so the shared full graph is not
+        # reused here.
+        graph = CallGraph.build(project.modules, packages=TARGET_PACKAGES)
+        facts: Dict[str, TaintFacts] = {
+            qualname: taint_facts(fn)
+            for qualname, fn in graph.functions.items()}
+        aware = graph.propagate_up(
+            seed=lambda fn: facts[fn.qualname].touches_poison,
+            skip=lambda bare: bare in NON_CONFERRING)
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            fact = facts[qualname]
+            if fact.reads_data and fact.writes_data and qualname not in aware:
                 yield self.finding(
-                    summary.module, summary.node,
-                    f"{summary.qualname} moves functional line data but "
+                    fn.module, fn.node,
+                    f"{qualname} moves functional line data but "
                     f"never propagates or checks poison; thread the "
                     f"source's poison state to the destination")

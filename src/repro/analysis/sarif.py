@@ -57,6 +57,8 @@ def to_sarif(findings: Iterable[Finding]) -> Dict:
                     "region": {
                         "startLine": finding.line,
                         "startColumn": finding.col + 1,
+                        **({"snippet": {"text": finding.snippet}}
+                           if finding.snippet else {}),
                     },
                 },
             }],
@@ -88,3 +90,31 @@ def to_sarif(findings: Iterable[Finding]) -> Dict:
 def dumps(findings: Iterable[Finding]) -> str:
     """Serialized SARIF log (stable key order)."""
     return json.dumps(to_sarif(findings), indent=2, sort_keys=True) + "\n"
+
+
+def to_findings(log: Dict) -> List[Finding]:
+    """Reconstruct :class:`Finding` objects from a SARIF log.
+
+    The inverse of :func:`to_sarif` for every field the analyzer owns
+    (rule, message, path, line, col, snippet, suppressed/baselined) —
+    the round trip is lossless, which the test suite asserts.  Used by
+    tooling that post-processes an uploaded SARIF artifact.
+    """
+    out: List[Finding] = []
+    for run in log.get("runs", []):
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            region = location["region"]
+            suppressions = result.get("suppressions", [])
+            kinds = {s.get("kind") for s in suppressions}
+            out.append(Finding(
+                rule=result["ruleId"],
+                message=result["message"]["text"],
+                path=location["artifactLocation"]["uri"],
+                line=region["startLine"],
+                col=region["startColumn"] - 1,
+                snippet=region.get("snippet", {}).get("text", ""),
+                suppressed="inSource" in kinds,
+                baselined="external" in kinds,
+            ))
+    return out

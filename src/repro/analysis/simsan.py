@@ -1,0 +1,223 @@
+"""simsan — runtime sanitizer for the parallel sweep runner.
+
+The fork-safety (MC24xx) and cache-soundness (MC25xx) rules prove sweep
+purity *statically*, on the worker-reachability closure of the shared
+call graph.  simsan is the matching *dynamic* oracle: with
+``REPRO_SIMSAN=1`` the sweep runner (:mod:`repro.perf.runner`) and the
+result cache (:mod:`repro.perf.cache`) route through the hooks below,
+which
+
+* snapshot the module-level globals of every loaded ``repro.*`` module
+  around each dispatched point and flag any mutation — the runtime
+  analogue of MC2401 (a forked worker mutating its copy-on-write image
+  diverges silently from the serial run);
+* audit every Nth cache hit (``REPRO_SIMSAN_PERIOD``, default 8) by
+  recomputing the point and comparing against the stored value — the
+  runtime analogue of MC2501 (a parameter influencing the result but
+  missing from the cache key makes stale hits indistinguishable from
+  fresh runs);
+* harden the cache itself: a structurally corrupt store entry or a
+  value failing the JSON round-trip contract (MC2502's analogue) is
+  reported instead of silently degraded to a miss.
+
+Modes: ``REPRO_SIMSAN=1`` (or ``on``/``strict``) raises
+:class:`~repro.common.errors.SanitizerError`; ``REPRO_SIMSAN=warn``
+prints to stderr and continues.  Anything else (including unset)
+disables every hook; the instrumented call sites check :func:`enabled`
+first, so the sanitizer costs nothing when off.
+
+The orchestration layer itself (``repro.perf``) and this package are
+excluded from the global snapshot for the same reason the static rules
+exempt them (see :data:`repro.analysis.rules.forksafety.INFRA_MODULES`):
+their memoization state is process-local by design.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.common.errors import SanitizerError
+
+#: Module-name prefixes excluded from the global-mutation snapshot —
+#: must stay in sync with the static exemption in
+#: :data:`repro.analysis.rules.forksafety.INFRA_MODULES`.
+EXCLUDE_PREFIXES = ("repro.perf", "repro.analysis")
+
+#: Fingerprints longer than this are truncated: a mutation almost
+#: always changes the head of the repr, and unbounded reprs of large
+#: result tables would dominate the sanitizer's cost.
+_REPR_CAP = 512
+
+_DEFAULT_PERIOD = 8
+
+#: Cache hits observed since process start (drives the audit period).
+_hit_count = 0
+
+
+def mode() -> str:
+    """``"strict"``, ``"warn"``, or ``"off"`` from ``REPRO_SIMSAN``."""
+    raw = os.environ.get("REPRO_SIMSAN", "").strip().lower()
+    if raw in ("1", "on", "strict", "true"):
+        return "strict"
+    if raw == "warn":
+        return "warn"
+    return "off"
+
+
+def enabled() -> bool:
+    """Whether any sanitizer hook should run."""
+    return mode() != "off"
+
+
+def period() -> int:
+    """Audit every Nth cache hit (``REPRO_SIMSAN_PERIOD``, min 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SIMSAN_PERIOD",
+                                         str(_DEFAULT_PERIOD))))
+    except ValueError:
+        return _DEFAULT_PERIOD
+
+
+def report(kind: str, message: str) -> None:
+    """Surface one violation according to the active mode."""
+    text = f"simsan[{kind}]: {message}"
+    if mode() == "warn":
+        print(text, file=sys.stderr)
+        return
+    raise SanitizerError(text)
+
+
+def _fingerprint(value: Any) -> str:
+    try:
+        return f"{type(value).__name__}:{repr(value)[:_REPR_CAP]}"
+    except Exception:  # a hostile __repr__ must not kill the sweep
+        return f"{type(value).__name__}:<unrepresentable>"
+
+
+def _watched_modules(extra: Tuple[str, ...] = ()) -> List[str]:
+    return [name for name in sys.modules
+            if (name == "repro" or name.startswith("repro.")
+                or name in extra)
+            and not any(name == p or name.startswith(p + ".")
+                        for p in EXCLUDE_PREFIXES)]
+
+
+def snapshot(extra: Tuple[str, ...] = ()) -> Dict[str, Dict[str, str]]:
+    """Fingerprint the globals of every loaded, watched repro module.
+
+    ``extra`` names additional modules to watch — the dispatched
+    point's own module, which is sim code by definition even when it
+    lives outside the ``repro`` package (workload fixtures, tests).
+    """
+    out: Dict[str, Dict[str, str]] = {}
+    for name in _watched_modules(extra):
+        module = sys.modules.get(name)
+        if module is None:
+            continue
+        out[name] = {attr: _fingerprint(value)
+                     for attr, value in vars(module).items()
+                     if not attr.startswith("__")}
+    return out
+
+
+def diff_snapshots(before: Dict[str, Dict[str, str]],
+                   after: Dict[str, Dict[str, str]]
+                   ) -> List[Tuple[str, str, str]]:
+    """(module, name, change) triples for globals that changed.
+
+    Only modules present in ``before`` are compared: a module first
+    imported *during* the call brings all its globals with it, which is
+    an import side effect, not a mutation.  For the same reason a
+    *created* attribute whose value is a module is ignored — importing
+    ``pkg.sub`` lazily binds ``sub`` on the parent package.  Within a
+    pre-existing module, everything else counts.
+    """
+    changes: List[Tuple[str, str, str]] = []
+    for mod_name, old in before.items():
+        new = after.get(mod_name)
+        if new is None:  # module vanished: del sys.modules[...] — flag
+            changes.append((mod_name, "*", "module removed"))
+            continue
+        for attr in sorted(set(old) | set(new)):
+            if attr not in old:
+                if new[attr].startswith("module:"):
+                    continue  # lazy submodule import, not a mutation
+                changes.append((mod_name, attr, "created"))
+            elif attr not in new:
+                changes.append((mod_name, attr, "deleted"))
+            elif old[attr] != new[attr]:
+                changes.append((mod_name, attr, "mutated"))
+    return changes
+
+
+def checked_call(fn: Callable[..., Any], args: Tuple, kwargs: Dict[str, Any],
+                 name: str) -> Any:
+    """Run one sweep point with the global-mutation audit around it."""
+    extra = (getattr(fn, "__module__", None) or "",)
+    before = snapshot(extra)
+    value = fn(*args, **kwargs)
+    changes = diff_snapshots(before, snapshot(extra))
+    if changes:
+        detail = "; ".join(f"{mod}.{attr} {change}"
+                           for mod, attr, change in changes[:5])
+        more = len(changes) - 5
+        if more > 0:
+            detail += f"; and {more} more"
+        report("global-write",
+               f"sim point {name} mutated module-level state ({detail}); "
+               f"forked workers mutate a private copy, so parallel and "
+               f"serial sweeps diverge (static rule: MC2401)")
+    return value
+
+
+def should_audit_hit() -> bool:
+    """True on every Nth cache hit (process-local counter)."""
+    global _hit_count
+    _hit_count += 1
+    return _hit_count % period() == 0
+
+
+def _json_normal(value: Any) -> Any:
+    return json.loads(json.dumps(value, sort_keys=True, allow_nan=False))
+
+
+def audit_hit(name: str, key: str, cached: Any,
+              recompute: Callable[[], Any]) -> None:
+    """Recompute a cache hit and compare against the stored value.
+
+    ``cached`` already survived one JSON round trip at ``put`` time, so
+    the fresh value is normalized the same way before comparison.
+    """
+    try:
+        fresh = _json_normal(recompute())
+    except (TypeError, ValueError) as exc:
+        report("cache-audit",
+               f"recomputed value for {name} is no longer "
+               f"JSON-representable ({exc}) although key {key[:12]}… holds "
+               f"a cached result (static rule: MC2502)")
+        return
+    if fresh != cached:
+        report("cache-audit",
+               f"cache hit for {name} (key {key[:12]}…) differs from a "
+               f"fresh recompute; some input that influences the result "
+               f"is missing from the cache key (static rule: MC2501)")
+
+
+def check_payload(path: str, payload: Any) -> None:
+    """Validate the structure of a deserialized cache entry."""
+    if not (isinstance(payload, dict)
+            and "fn" in payload and "value" in payload):
+        report("cache-entry",
+               f"corrupt cache entry {path}: expected an object with "
+               f"'fn' and 'value' keys")
+
+
+def report_unroundtrippable(fn_name: str, reason: str) -> None:
+    """A result failed the cache's JSON round-trip contract."""
+    report("json-round-trip",
+           f"result of {fn_name} violates the JSON round-trip contract "
+           f"({reason}); it cannot be cached bit-identically — return "
+           f"plain dicts/lists/scalars (static rule: MC2502)")

@@ -39,6 +39,16 @@ class LivelockError(SimulationError):
         self.post_mortem = post_mortem
 
 
+class SanitizerError(ReproError, RuntimeError):
+    """The runtime sanitizer (``REPRO_SIMSAN=1``) detected a violation.
+
+    Raised by :mod:`repro.analysis.simsan` when a sweep point mutates
+    shared module state across the fork boundary or a cache hit fails
+    its recompute audit.  Also a :class:`RuntimeError` for harnesses
+    that do not know the repro types.
+    """
+
+
 class FaultSpecError(ConfigError):
     """A fault-injection spec string could not be parsed."""
 

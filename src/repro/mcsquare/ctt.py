@@ -29,7 +29,6 @@ interconnect broadcast; this class models the replicated content once.
 
 from __future__ import annotations
 
-import itertools
 from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -37,8 +36,6 @@ from repro.common import params
 from repro.common.errors import AlignmentError, ConfigError, SimulationError
 from repro.common.units import CACHELINE_SIZE, PAGE_SIZE, align_down
 from repro.sim.stats import StatGroup
-
-_entry_ids = itertools.count()
 
 
 class InsertResult:
@@ -70,10 +67,11 @@ class CttEntry:
     not re-claimed).
     """
 
-    __slots__ = ("id", "dst", "src", "size", "active")
+    __slots__ = ("dst", "src", "size", "active")
 
     def __init__(self, dst: int, src: int, size: int):
-        self.id = next(_entry_ids)
+        # Deliberately no serial id (see sim.packet): a module-global
+        # counter is shared mutable state across forked sweep workers.
         self.dst = dst
         self.src = src
         self.size = size
@@ -94,7 +92,7 @@ class CttEntry:
         return self.src + (dst_addr - self.dst)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"CttEntry#{self.id}(dst={self.dst:#x}, src={self.src:#x}, "
+        return (f"CttEntry(dst={self.dst:#x}, src={self.src:#x}, "
                 f"size={self.size})")
 
 

@@ -24,7 +24,6 @@ because the MMU checks happen before physical addresses reach the MC
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -33,8 +32,6 @@ from repro.common.errors import AddressError, ProtectionFault
 from repro.common.units import HUGE_PAGE_SIZE, PAGE_SIZE, align_down
 from repro.isa import ops
 from repro.isa.ops import Op
-
-_as_ids = itertools.count()
 
 
 class CowFault(Exception):
@@ -61,7 +58,8 @@ class AddressSpace:
                  page_size: int = PAGE_SIZE):
         if page_size not in (PAGE_SIZE, HUGE_PAGE_SIZE):
             raise AddressError(f"unsupported page size {page_size}")
-        self.id = next(_as_ids)
+        # Deliberately no serial id (see sim.packet): a module-global
+        # counter is shared mutable state across forked sweep workers.
         self.os = os_
         self.page_size = page_size
         self.ptes: Dict[int, PageTableEntry] = {}

@@ -15,7 +15,11 @@ whole store.  Values are stored one JSON file per key under
 ``results/.simcache/``; only results that survive a JSON round-trip
 unchanged are cached, so a cache hit is bit-identical to a fresh run.
 
-Set ``REPRO_SIMCACHE=off`` to bypass the store entirely.
+Set ``REPRO_SIMCACHE=off`` to bypass the store entirely.  With
+``REPRO_SIMSAN=1`` the silent degradations become loud: a structurally
+corrupt entry and a value failing the round-trip contract are reported
+through :mod:`repro.analysis.simsan` instead of quietly treated as a
+miss / left uncached.
 """
 
 from __future__ import annotations
@@ -35,6 +39,15 @@ _STAMP_CACHE: Dict[str, str] = {}
 
 class Unkeyable(Exception):
     """Raised when a sim point's parameters cannot be canonicalized."""
+
+
+def _sanitizer():
+    """The simsan module when ``REPRO_SIMSAN`` is active, else None."""
+    if os.environ.get("REPRO_SIMSAN", "").strip().lower() in (
+            "", "0", "off", "false"):
+        return None
+    from repro.analysis import simsan
+    return simsan if simsan.enabled() else None
 
 
 def repo_root() -> pathlib.Path:
@@ -120,13 +133,27 @@ class SimCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Any:
-        """The cached value for ``key``, or :data:`MISS`."""
+        """The cached value for ``key``, or :data:`MISS`.
+
+        A missing file is an ordinary miss; a file that exists but does
+        not parse into the expected shape is silently a miss too —
+        except under ``REPRO_SIMSAN``, where corruption is reported.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)["value"]
-        except (OSError, json.JSONDecodeError, KeyError):
+                payload = json.load(handle)
+        except OSError:
             return MISS
+        except json.JSONDecodeError:
+            payload = None
+        if not (isinstance(payload, dict)
+                and "fn" in payload and "value" in payload):
+            san = _sanitizer()
+            if san is not None:
+                san.check_payload(str(path), payload)
+            return MISS
+        return payload["value"]
 
     def put(self, key: str, fn_name: str, value: Any) -> bool:
         """Store ``value`` if a JSON round-trip reproduces it exactly.
@@ -139,9 +166,17 @@ class SimCache:
         try:
             blob = json.dumps({"fn": fn_name, "value": value},
                               sort_keys=True, allow_nan=False)
-        except (TypeError, ValueError):
+        except (TypeError, ValueError) as exc:
+            san = _sanitizer()
+            if san is not None:
+                san.report_unroundtrippable(fn_name, str(exc))
             return False
         if json.loads(blob)["value"] != value:
+            san = _sanitizer()
+            if san is not None:
+                san.report_unroundtrippable(
+                    fn_name, "decode does not compare equal to the "
+                             "original (tuples/sets/non-str keys?)")
             return False
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)

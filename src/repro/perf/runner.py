@@ -15,6 +15,11 @@ never forks again.
 Results are memoized through :mod:`repro.perf.cache` (disable with
 ``REPRO_SIMCACHE=off`` or ``cache=False``); the cache is consulted and
 populated only in the parent process, keeping workers write-free.
+
+With ``REPRO_SIMSAN=1`` every point runs under the runtime sanitizer
+(:mod:`repro.analysis.simsan`): module globals are snapshotted around
+each call to catch cross-fork mutation, and a periodic sample of cache
+hits is recomputed and compared against the stored value.
 """
 
 from __future__ import annotations
@@ -54,7 +59,24 @@ def jobs_from_env() -> int:
         return 1
 
 
+def _sanitizer():
+    """The simsan module when ``REPRO_SIMSAN`` is active, else None.
+
+    Imported lazily so the analysis package costs nothing on normal
+    runs; the env check is repeated per call because tests toggle it.
+    """
+    if os.environ.get("REPRO_SIMSAN", "").strip().lower() in (
+            "", "0", "off", "false"):
+        return None
+    from repro.analysis import simsan
+    return simsan if simsan.enabled() else None
+
+
 def _run_point(point: SimPoint) -> Any:
+    san = _sanitizer()
+    if san is not None:
+        return san.checked_call(point.fn, point.args, point.kwargs,
+                                point.name)
     return point.fn(*point.args, **point.kwargs)
 
 
@@ -104,6 +126,13 @@ def sim_map(points: Iterable[SimPoint],
             if value is MISS:
                 misses.append(i)
             else:
+                san = _sanitizer()
+                if san is not None and san.should_audit_hit():
+                    # Recompute serially in the parent and compare: a
+                    # divergence means the key omits an input that
+                    # influences the result (MC2501's dynamic oracle).
+                    san.audit_hit(point.name, keys[i], value,
+                                  lambda p=point: p.fn(*p.args, **p.kwargs))
                 results[i] = value
     else:
         misses = list(range(len(points)))

@@ -11,10 +11,7 @@ simulated time.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Callable, Optional
-
-_packet_ids = itertools.count()
 
 
 class PacketType(enum.Enum):
@@ -56,7 +53,7 @@ class Packet:
     """
 
     __slots__ = (
-        "id", "ptype", "addr", "size", "src_addr", "on_complete",
+        "ptype", "addr", "size", "src_addr", "on_complete",
         "requestor", "is_prefetch", "is_bounce", "is_async_copy",
         "issued_at", "completed_at", "data", "poisoned",
     )
@@ -70,7 +67,9 @@ class Packet:
         on_complete: Optional[Callable[["Packet"], None]] = None,
         requestor: int = -1,
     ):
-        self.id = next(_packet_ids)
+        # Deliberately no serial id: a process-global counter would be
+        # shared mutable state across forked sweep workers (MC2401) and
+        # across back-to-back simulations in one process.
         self.ptype = ptype
         self.addr = addr
         self.size = size
@@ -106,6 +105,6 @@ class Packet:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         extra = f", src={self.src_addr:#x}" if self.src_addr is not None else ""
         return (
-            f"Packet#{self.id}({self.ptype.value}, addr={self.addr:#x}, "
+            f"Packet({self.ptype.value}, addr={self.addr:#x}, "
             f"size={self.size}{extra})"
         )

@@ -53,9 +53,10 @@ class TestOrdering:
         """The FIFO property the MCLAZY consistency argument needs."""
         sim, xbar, mcs, backing = rig
         order = []
-        for mc in mcs:
-            mc.receive = lambda pkt: order.append(pkt.id)
         packets = [Packet(PacketType.READ, i * CL, CL) for i in range(20)]
+        seq = {id(pkt): i for i, pkt in enumerate(packets)}
+        for mc in mcs:
+            mc.receive = lambda pkt: order.append(seq[id(pkt)])
         # Issue at staggered times; some same-cycle.
         for i, pkt in enumerate(packets):
             sim.schedule(i // 3, lambda p=pkt: xbar.send(p))

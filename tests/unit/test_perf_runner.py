@@ -17,8 +17,9 @@ def with_kwargs(x, offset=0):
 
 
 def record_env(_i):
-    return {"worker": os.environ.get("REPRO_PERF_WORKER", ""),
-            "jobs": os.environ.get("REPRO_JOBS", "")}
+    # Deliberately ambient: this probe *verifies* worker env pinning.
+    return {"worker": os.environ.get("REPRO_PERF_WORKER", ""),  # noqa: MC2402
+            "jobs": os.environ.get("REPRO_JOBS", "")}  # noqa: MC2402
 
 
 def unkeyable_arg(obj):  # ``obj`` defeats canonicalization
