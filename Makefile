@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-tests analyze-diff simsan-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline
+.PHONY: test analyze analyze-tests analyze-diff simsan-smoke trace-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline
 
 all: analyze test
 
@@ -44,6 +44,14 @@ analyze-diff:
 # One real sweep under the runtime sanitizer (docs/ANALYSIS.md).
 simsan-smoke:
 	REPRO_SIMSAN=1 REPRO_JOBS=2 REPRO_SIMCACHE=off $(PYTHON) -m pytest benchmarks/test_fig12_seq_access.py -x -q -p no:cacheprovider
+
+# One traced micro workload end to end: export, schema-validate, and
+# summarize a Chrome trace (docs/OBSERVABILITY.md).
+trace-smoke:
+	$(PYTHON) -m repro.obs run --workload seq --buffer-kb 64 \
+		--out results/traces/trace-smoke.trace.json \
+		--timeline-csv results/traces/trace-smoke.timeline.csv
+	$(PYTHON) -m repro.obs validate results/traces/trace-smoke.trace.json
 
 sarif:
 	$(PYTHON) -m repro.analysis src/repro --format sarif --output mc2-analyze.sarif || true

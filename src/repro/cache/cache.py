@@ -61,6 +61,10 @@ class Cache:
         self.dirty_evictions = stats.counter(
             "dirty_evictions", "evictions requiring writeback")
         self.invalidations = stats.counter("invalidations", "lines invalidated")
+        stats.formula(
+            "hit_rate", "hits / (hits + misses)",
+            lambda: (self.hits.value / (self.hits.value + self.misses.value)
+                     if (self.hits.value + self.misses.value) else 0.0))
 
     # ------------------------------------------------------------- lookup
     def lookup(self, addr: int, now: int, touch: bool = True

@@ -76,6 +76,8 @@ class CacheHierarchy:
         self._prefetch_inflight_by_core: List[int] = [0] * num_cores
         self._clwb_inflight = 0
         self._clwb_waiters: List[Callable[[], None]] = []
+        # Optional repro.obs tracer (set by runtime.attach_tracer).
+        self._trace = None
         # Invalidation epochs: a fill that started before an invalidation
         # (MCLAZY destination, NT store, bulk-copy overwrite) must not
         # install its now-stale data when it returns.
@@ -376,6 +378,10 @@ class CacheHierarchy:
         first) are written back here so their data reaches the MC before
         the MCLAZY packet — the FIFO write-buffer guarantee.
         """
+        if self._trace is not None:
+            self._trace.instant("cache", "caches", "mclazy-preprocess",
+                                {"dst": hex(dst), "src": hex(src),
+                                 "size": size})
         for line in range(align_down(src, CACHELINE_SIZE),
                           src + size, CACHELINE_SIZE):
             data = self._clean_scan(self._caches, line)
@@ -395,6 +401,9 @@ class CacheHierarchy:
     def handle_mcfree(self, core: int, addr: int, size: int,
                       on_complete: Callable[[int], None]) -> None:
         """Forward an MCFREE hint to the memory controllers."""
+        if self._trace is not None:
+            self._trace.instant("cache", "caches", "mcfree",
+                                {"addr": hex(addr), "size": size})
         pkt = Packet(PacketType.MCFREE, addr, size, requestor=core,
                      on_complete=lambda p: on_complete(self.sim.now))
         self._send(pkt)
@@ -411,6 +420,10 @@ class CacheHierarchy:
         """
         assert dst % CACHELINE_SIZE == 0 and src % CACHELINE_SIZE == 0 \
             and size % CACHELINE_SIZE == 0, "bulk_copy is line-granular"
+        if self._trace is not None:
+            self._trace.instant("cache", "caches", "bulk-copy",
+                                {"dst": hex(dst), "src": hex(src),
+                                 "size": size})
         for line in range(src, src + size, CACHELINE_SIZE):
             data = self._clean_scan(self._caches, line)
             if data is not None:
@@ -541,6 +554,9 @@ class CacheHierarchy:
             self._issue_prefetch(core, target)
 
     def _issue_prefetch(self, core: int, line_addr: int) -> None:
+        if self._trace is not None:
+            self._trace.instant("cache", "caches", "prefetch",
+                                {"line": hex(line_addr), "core": core})
         self._prefetch_inflight.add(line_addr)
         self._prefetch_inflight_by_core[core] += 1
         waiters_list: List[Callable[[bytes, int], None]] = []

@@ -38,6 +38,11 @@ class DramChannel:
         self._row_conflicts = stats.counter("row_conflicts", "row-buffer conflicts")
         self._busy_cycles = stats.counter("bus_busy_cycles", "data-bus occupancy")
         self._accesses = stats.counter("accesses", "total device accesses")
+        # Optional repro.obs tracer (set by runtime.attach_tracer) and
+        # this channel's trace track name.  The "dram" category is a
+        # firehose (one event per device access) and is off by default.
+        self._trace = None
+        self._track = "dram"
 
     def access(self, loc: DramLocation, now: int) -> int:
         """Perform one cacheline access; returns the completion cycle.
@@ -52,12 +57,14 @@ class DramChannel:
             device = params.DRAM_ROW_MISS_CYCLES
             occupancy = device  # activation blocks the bank
             self._row_misses.inc()
+            kind = "miss"
         elif bank.open_row == loc.row:
             device = params.DRAM_ROW_HIT_CYCLES
             # Back-to-back CAS to an open row pipeline at tCCD: the bank
             # accepts the next column command after roughly one burst.
             occupancy = params.DRAM_BURST_CYCLES
             self._row_hits.inc()
+            kind = "hit"
         else:
             device = params.DRAM_ROW_CONFLICT_CYCLES
             # FR-FCFS controllers batch same-row requests before
@@ -67,6 +74,7 @@ class DramChannel:
             # each conflicting access still pays the full latency.
             occupancy = device // 4
             self._row_conflicts.inc()
+            kind = "conflict"
         bank.open_row = loc.row
 
         # Banks overlap their device latency; only the 64B data burst
@@ -77,6 +85,10 @@ class DramChannel:
         bank.ready_at = start + occupancy
         self._busy_cycles.inc(params.DRAM_BURST_CYCLES)
         self._accesses.inc()
+        if self._trace is not None:
+            self._trace.complete("dram", self._track, "access", start, done,
+                                 {"bank": loc.bank, "row": loc.row,
+                                  "kind": kind})
         return done
 
     def earliest_start(self, now: int) -> int:

@@ -117,6 +117,9 @@ class FaultInjector:
         self.pkt_delay_p = 0.0
         self.pkt_delay_cycles = 40
         self.installed = False
+        # Fault events show up as trace instants when the system was
+        # built with a repro.obs tracer attached.
+        self._trace = getattr(system, "tracer", None)
 
     # ----------------------------------------------------------- plumbing
     def install(self) -> "FaultInjector":
@@ -156,6 +159,11 @@ class FaultInjector:
             duplicate = True
             self._pkt_dups.inc()
         if delay or duplicate:
+            if self._trace is not None:
+                self._trace.instant("faults", "faults", "link-fault",
+                                    {"addr": hex(pkt.addr),
+                                     "delay": delay,
+                                     "duplicate": duplicate})
             return delay, duplicate
         return None
 
@@ -163,7 +171,12 @@ class FaultInjector:
     def flip_bits(self, addr: int, bits: int = 2) -> EccOutcome:
         """Flip ``bits`` random bits in the line at ``addr`` right now."""
         self._bitflips.inc()
-        return self.ecc.corrupt_line(addr, bits, self.rng)
+        outcome = self.ecc.corrupt_line(addr, bits, self.rng)
+        if self._trace is not None:
+            self._trace.instant("faults", "faults", "bitflip",
+                                {"addr": hex(addr), "bits": bits,
+                                 "outcome": outcome.name.lower()})
+        return outcome
 
     # --------------------------------------------------- structure faults
     def drop_random_ctt_entry(self) -> bool:
@@ -177,6 +190,9 @@ class FaultInjector:
         if ctt is None or len(ctt) == 0:
             return False
         entry = self.rng.choice(list(ctt.entries))
+        if self._trace is not None:
+            self._trace.instant("faults", "faults", "ctt-drop",
+                                {"dst": hex(entry.dst), "size": entry.size})
         ctt.remove_dest_range(entry.dst, entry.size)
         self._ctt_drops.inc()
         return True
@@ -194,6 +210,9 @@ class FaultInjector:
             return False
         mc = self.rng.choice(holders)
         entry = self.rng.choice(mc.bpq.entries())
+        if self._trace is not None:
+            self._trace.instant("faults", "faults", "bpq-drop",
+                                {"line": hex(entry.line)})
         mc.bpq.drop(entry.line)
         self._bpq_drops.inc()
         # The freed slot can admit a stalled overflow write.

@@ -27,7 +27,7 @@ class BpqEntry:
     """One parked source-line write awaiting lazy-copy resolution."""
 
     __slots__ = ("line", "data", "packets", "pending_copies", "parked_at",
-                 "poisoned")
+                 "poisoned", "park_id")
 
     def __init__(self, line: int, data: bytes, packet: Packet, now: int):
         self.line = line
@@ -38,6 +38,8 @@ class BpqEntry:
         # Poison travels with the parked data: a poisoned write stays
         # poisoned through merges and into the eventual drain.
         self.poisoned = packet.poisoned
+        # Per-queue serial assigned at park time; keys the trace span.
+        self.park_id: Optional[int] = None
 
     def merge(self, data: bytes, packet: Packet) -> None:
         """Coalesce a newer full-line write to the same parked line."""
@@ -52,11 +54,17 @@ class BouncePendingQueue:
     """Fixed-capacity queue of parked source writes for one MC."""
 
     def __init__(self, capacity: int = params.BPQ_ENTRIES,
-                 stats: Optional[StatGroup] = None):
+                 stats: Optional[StatGroup] = None,
+                 name: str = "bpq"):
         if capacity <= 0:
             raise SimulationError("BPQ capacity must be positive")
         self.capacity = capacity
+        self.name = name
         self._entries: Dict[int, BpqEntry] = {}
+        # Optional repro.obs tracer (set by runtime.attach_tracer) and
+        # the per-queue park serial that keys its spans.
+        self._trace = None
+        self._park_seq = 0
         stats = stats or StatGroup("bpq")
         self.stats = stats
         self._parked = stats.counter("parked", "source writes parked")
@@ -93,10 +101,16 @@ class BouncePendingQueue:
         if self.full:
             raise SimulationError("BPQ full; caller must check before parking")
         entry = BpqEntry(line, data, packet, now)
+        entry.park_id = self._park_seq
+        self._park_seq += 1
         self._entries[line] = entry
         self._parked.inc()
         if len(self._entries) > self._occupancy_peak.value:
             self._occupancy_peak.value = len(self._entries)
+        trace = self._trace
+        if trace is not None:
+            trace.span_begin("bpq", self.name, "parked-write",
+                            self._span_id(entry), {"line": hex(line)})
         return entry
 
     def merge(self, line: int, data: bytes, packet: Packet) -> BpqEntry:
@@ -104,12 +118,17 @@ class BouncePendingQueue:
         entry = self._entries[line]
         entry.merge(data, packet)
         self._merged.inc()
+        trace = self._trace
+        if trace is not None:
+            trace.span_point("bpq", self.name, "merge",
+                             self._span_id(entry))
         return entry
 
     def release(self, line: int) -> BpqEntry:
         """Remove and return the parked entry (it is draining to memory)."""
         entry = self._entries.pop(line)
         self._drained.inc()
+        self._end_span(entry, "drained")
         return entry
 
     def supersede(self, line: int) -> BpqEntry:
@@ -122,6 +141,7 @@ class BouncePendingQueue:
         """
         entry = self._entries.pop(line)
         self._superseded.inc()
+        self._end_span(entry, "superseded")
         return entry
 
     def drop(self, line: int) -> BpqEntry:
@@ -133,6 +153,7 @@ class BouncePendingQueue:
         """
         entry = self._entries.pop(line)
         self._dropped.inc()
+        self._end_span(entry, "dropped")
         return entry
 
     def record_full_stall(self) -> None:
@@ -142,3 +163,12 @@ class BouncePendingQueue:
     def entries(self) -> List[BpqEntry]:
         """Snapshot of parked entries."""
         return list(self._entries.values())
+
+    # ------------------------------------------------------------- tracing
+    def _span_id(self, entry: BpqEntry) -> str:
+        return f"{self.name}:park:{entry.park_id}"
+
+    def _end_span(self, entry: BpqEntry, reason: str) -> None:
+        trace = self._trace
+        if trace is not None:
+            trace.span_end("bpq", self._span_id(entry), {"reason": reason})

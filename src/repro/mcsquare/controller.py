@@ -66,7 +66,8 @@ class McSquareController(MemoryController):
         super().__init__(sim, channel_id, address_map, backing, stats,
                          wpq_entries=wpq_entries, rpq_entries=rpq_entries)
         self.ctt = ctt
-        self.bpq = BouncePendingQueue(bpq_entries, stats.group("bpq"))
+        self.bpq = BouncePendingQueue(bpq_entries, stats.group("bpq"),
+                                      name=f"bpq{channel_id}")
         self.copy_threshold = copy_threshold
         self.parallel_frees = parallel_frees
         self.bounce_writeback = bounce_writeback
@@ -124,6 +125,10 @@ class McSquareController(MemoryController):
         self._superseded_parked = stats.counter(
             "superseded_parked_writes",
             "parked writes discarded: a newer copy overwrote their line")
+        stats.formula(
+            "bounce_rate", "fraction of serviced reads that bounced",
+            lambda: (self._bounces.value / self._reads.value
+                     if self._reads.value else 0.0))
 
     # =============================================================== reads
     def _handle_read(self, pkt: Packet) -> None:
@@ -163,6 +168,14 @@ class McSquareController(MemoryController):
                                        CACHELINE_SIZE)})
         if len(src_lines) == 2:
             self._double_bounces.inc()
+        trace = self._trace
+        if trace is not None:
+            trace.instant("mcsquare", self._track, "bounce",
+                          {"line": hex(line), "double": len(src_lines) == 2})
+            if entry.copy_id is not None:
+                trace.span_point("copy", "ctt", "bounce",
+                                 f"copy:{entry.copy_id}",
+                                 {"line": hex(line)})
 
         # Functional: compose the line from pre-write memory.  Poison is
         # sampled with the data: a DUE anywhere in the source window makes
@@ -211,6 +224,9 @@ class McSquareController(MemoryController):
         dest_owner = self._owner_of(line)
         if dest_owner.wpq_fullness > params.WPQ_REJECT_THRESHOLD:
             self._bounce_wb_rejected.inc()
+            if self._trace is not None:
+                self._trace.instant("mcsquare", self._track,
+                                    "bounce-wb-rejected", {"line": hex(line)})
             return
 
         def _complete_writeback() -> None:
@@ -228,6 +244,9 @@ class McSquareController(MemoryController):
             self.ctt.remove_dest_range(line, CACHELINE_SIZE)
             self._broadcast_update()
             self._bounce_writebacks.inc()
+            if self._trace is not None:
+                self._trace.instant("mcsquare", self._track,
+                                    "bounce-writeback", {"line": hex(line)})
             self._drain_ready_bpq_entries()
 
         wb_loc = dest_owner.address_map.decode(line)
@@ -349,8 +368,16 @@ class McSquareController(MemoryController):
                 self.ctt.remove_dest_range(dest_line, CACHELINE_SIZE)
                 self._broadcast_update()
                 self._src_write_copies.inc()
+                if self._trace is not None:
+                    self._trace.instant("mcsquare", self._track,
+                                        "materialize",
+                                        {"line": hex(dest_line)})
             else:
                 self._bounce_dropped.inc()
+                if self._trace is not None:
+                    self._trace.instant("mcsquare", self._track,
+                                        "materialize-dropped",
+                                        {"line": hex(dest_line)})
             if on_done is not None:
                 on_done()
 
@@ -425,6 +452,10 @@ class McSquareController(MemoryController):
         self._bpq_overflow.remove(pkt)
         self._bpq_overflow_fallbacks.inc()
         line = align_down(pkt.addr, CACHELINE_SIZE)
+        if self._trace is not None:
+            self._trace.instant("mcsquare", self._track,
+                                "bpq-overflow-deadline",
+                                {"line": hex(line)})
         self._resolve_dependents_of(line, self.sim.now, set())
         if self.ctt.lookup_dest_line(line) is not None:
             trimmed = self.ctt.remove_dest_range(line, CACHELINE_SIZE)
@@ -474,10 +505,19 @@ class McSquareController(MemoryController):
                 retry *= min(2 ** attempt, params.CTT_RETRY_BACKOFF_CAP)
             self._ctt_full_stalls.inc()
             self._ctt_full_stall_cycles.inc(retry)
+            if self._trace is not None:
+                self._trace.instant("mcsquare", self._track, "mclazy-stall",
+                                    {"attempt": attempt, "retry": retry,
+                                     "blocked": blocked})
             self.sim.schedule(retry,
                               lambda: self._handle_mclazy(pkt, attempt + 1),
                               label="mclazy-retry")
             return
+        if self._trace is not None:
+            self._trace.instant("mcsquare", self._track, "mclazy",
+                                {"dst": hex(pkt.addr),
+                                 "src": hex(pkt.src_addr),
+                                 "size": pkt.size})
         self._broadcast_update()
         done = self.sim.now + params.BROADCAST_CYCLES
         self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
@@ -548,6 +588,11 @@ class McSquareController(MemoryController):
         """
         dst, src, size = pkt.addr, pkt.src_addr, pkt.size
         self._ctt_full_fallbacks.inc()
+        if self._trace is not None:
+            self._trace.instant("mcsquare", self._track,
+                                "mclazy-eager-fallback",
+                                {"dst": hex(dst), "src": hex(src),
+                                 "size": size})
         dest_lines = self._lines_of(dst, size)
         # Snapshot the MC-visible source image (parked BPQ data wins over
         # tracked-destination redirects over plain memory) *before* any
@@ -739,6 +784,10 @@ class McSquareController(MemoryController):
 
     def _resolve_entry_async(self, entry: CttEntry) -> None:
         """Copy one claimed entry line by line in the background."""
+        if self._trace is not None:
+            self._trace.instant("mcsquare", self._track, "async-free",
+                                {"dst": hex(entry.dst),
+                                 "size": entry.size})
         lines = [entry.dst + off
                  for off in range(0, entry.size, CACHELINE_SIZE)]
         when = self.sim.now

@@ -30,7 +30,7 @@ interconnect broadcast; this class models the replicated content once.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.common import params
 from repro.common.errors import AlignmentError, ConfigError, SimulationError
@@ -67,15 +67,20 @@ class CttEntry:
     not re-claimed).
     """
 
-    __slots__ = ("dst", "src", "size", "active")
+    __slots__ = ("dst", "src", "size", "active", "copy_id")
 
-    def __init__(self, dst: int, src: int, size: int):
-        # Deliberately no serial id (see sim.packet): a module-global
-        # counter is shared mutable state across forked sweep workers.
+    def __init__(self, dst: int, src: int, size: int,
+                 copy_id: Optional[int] = None):
+        # Deliberately no module-global serial id (see sim.packet): that
+        # is shared mutable state across forked sweep workers.  copy_id
+        # is a *per-table* sequence tying every entry (and trim remnant)
+        # back to the MCLAZY registration that created it, for the
+        # copy-lifecycle stats and trace spans.
         self.dst = dst
         self.src = src
         self.size = size
         self.active = True
+        self.copy_id = copy_id
 
     @property
     def dst_end(self) -> int:
@@ -101,11 +106,17 @@ class CopyTrackingTable:
 
     def __init__(self, capacity: int = params.CTT_ENTRIES,
                  stats: Optional[StatGroup] = None,
-                 max_entry_size: int = params.CTT_MAX_COPY_SIZE):
+                 max_entry_size: int = params.CTT_MAX_COPY_SIZE,
+                 clock: Optional[Callable[[], int]] = None):
         if capacity <= 0:
             raise ConfigError("CTT capacity must be positive")
         self.capacity = capacity
         self.max_entry_size = max_entry_size
+        # Cycle source for copy-lifecycle stats (the System passes the
+        # simulator clock); without one, lifetimes record as 0.
+        self._clock = clock
+        # Optional repro.obs tracer; set by runtime.attach_tracer.
+        self._trace = None
         # Entries sorted by destination start; destinations never overlap.
         # ``_starts`` mirrors ``[e.dst for e in _entries]`` so the
         # per-access destination lookup can bisect without rebuilding the
@@ -129,6 +140,18 @@ class CopyTrackingTable:
         self._removed_bytes = stats.counter(
             "removed_bytes", "tracked bytes resolved or dropped")
         self._peak = stats.counter("peak_occupancy", "max entries ever held")
+        self._copies_resolved = stats.counter(
+            "copies_resolved", "registered copies fully resolved/untracked")
+        self._copy_lifetime = stats.distribution(
+            "copy_lifetime", "cycles from registration to full resolution")
+        # Copy-lifecycle bookkeeping: one logical copy per successful
+        # insert().  Live entry counts per copy id; a copy resolves when
+        # its count returns to zero at the end of a public operation
+        # (transient zeroes inside a trim-then-readd are not ends).
+        self._copy_seq = 0
+        self._copy_live: Dict[int, int] = {}
+        self._copy_registered: Dict[int, int] = {}
+        self._resolved_pending: List[Tuple[int, str]] = []
 
     # ------------------------------------------------------------- basics
     def __len__(self) -> int:
@@ -174,13 +197,44 @@ class CopyTrackingTable:
         self._index_src(entry)
         if len(self._entries) > self._peak.value:
             self._peak.value = len(self._entries)
+        if entry.copy_id is not None:
+            self._copy_live[entry.copy_id] = \
+                self._copy_live.get(entry.copy_id, 0) + 1
 
-    def _remove(self, entry: CttEntry) -> None:
+    def _remove(self, entry: CttEntry, reason: str = "resolved") -> None:
         index = self._entries.index(entry)
         del self._entries[index]
         del self._starts[index]
         self._unindex_src(entry)
         self._removed_bytes.inc(entry.size)
+        cid = entry.copy_id
+        if cid is not None and cid in self._copy_live:
+            count = self._copy_live[cid] - 1
+            self._copy_live[cid] = count
+            if count <= 0:
+                self._resolved_pending.append((cid, reason))
+
+    def _flush_resolved(self) -> None:
+        """Settle copies whose last entry was removed this operation.
+
+        Deferred to the end of each public mutation because a trim may
+        remove an entry and immediately re-add a remnant with the same
+        copy id — a transient zero, not a resolution.
+        """
+        if not self._resolved_pending:
+            return
+        pending, self._resolved_pending = self._resolved_pending, []
+        for cid, reason in pending:
+            if self._copy_live.get(cid) != 0:
+                continue  # remnant re-added (or already settled)
+            del self._copy_live[cid]
+            registered = self._copy_registered.pop(cid, 0)
+            now = self._clock() if self._clock is not None else registered
+            self._copies_resolved.inc()
+            self._copy_lifetime.record(now - registered)
+            trace = self._trace
+            if trace is not None:
+                trace.span_end("copy", f"copy:{cid}", {"reason": reason})
 
     # ------------------------------------------------------------- lookups
     def _dest_overlaps(self, addr: int, size: int) -> List[CttEntry]:
@@ -277,7 +331,7 @@ class CopyTrackingTable:
 
         # 1. New destination overwrites: trim overlapped existing entries.
         #    (Idempotent, so safe to redo if a full table forces a retry.)
-        evicted = self._trim_dest_range(dst, size)
+        evicted = self._trim_dest_range(dst, size, reason="overwritten")
         if evicted:
             self._dest_evictions.inc(evicted)
 
@@ -290,12 +344,31 @@ class CopyTrackingTable:
             # A merge may still make it fit, but hardware checks capacity
             # before the rewrite; be conservative, as the paper stalls.
             self._insert_fails.inc()
+            self._flush_resolved()
             return InsertResult(ok=False)
 
+        # One logical copy per accepted MCLAZY: its lifecycle span opens
+        # here and closes when the last entry carrying its id is removed.
+        cid = self._copy_seq
+        self._copy_seq += 1
+        self._copy_live[cid] = 0
+        self._copy_registered[cid] = \
+            self._clock() if self._clock is not None else 0
+        trace = self._trace
+        if trace is not None:
+            trace.span_begin("copy", "ctt", "copy", f"copy:{cid}",
+                            {"dst": hex(dst), "src": hex(src), "size": size,
+                             "segments": len(entries),
+                             "eager_lines": len(eager)})
         for seg_dst, seg_src, seg_size in entries:
-            self._add(CttEntry(seg_dst, seg_src, seg_size))
+            self._add(CttEntry(seg_dst, seg_src, seg_size, copy_id=cid))
         self._inserts.inc()
         self._merge_around(dst, size)
+        if not entries:
+            # Every line self-mapped or resolved eagerly: the copy is
+            # registered and immediately complete, nothing left tracked.
+            self._resolved_pending.append((cid, "eager"))
+        self._flush_resolved()
         return InsertResult(ok=True, eager_lines=eager)
 
     def _redirect_segments(
@@ -403,7 +476,7 @@ class CopyTrackingTable:
                           and prev.src_end == entry.src)
             if contiguous and prev.size + entry.size <= self.max_entry_size \
                     and prev.active and entry.active:
-                self._remove(entry)
+                self._remove(entry, reason="merged")
                 self._unindex_src(prev)
                 prev.size += entry.size
                 self._index_src(prev)
@@ -412,25 +485,29 @@ class CopyTrackingTable:
                 merged.append(entry)
 
     # ------------------------------------------------------------- removal
-    def _trim_dest_range(self, addr: int, size: int) -> int:
+    def _trim_dest_range(self, addr: int, size: int,
+                         reason: str = "resolved") -> int:
         """Stop tracking destination bytes in [addr, addr+size).
 
         Overlapped entries are removed, resized, or split into two
-        remnants.  Returns the number of entries affected.
+        remnants (which inherit the original entry's copy id).  Returns
+        the number of entries affected.
         """
         affected = 0
         for entry in list(self._dest_overlaps(addr, size)):
             affected += 1
-            self._remove(entry)
+            self._remove(entry, reason=reason)
             end = addr + size
             # Left remnant: [entry.dst, addr)
             if entry.dst < addr:
-                self._add(CttEntry(entry.dst, entry.src, addr - entry.dst))
+                self._add(CttEntry(entry.dst, entry.src, addr - entry.dst,
+                                   copy_id=entry.copy_id))
             # Right remnant: [end, entry.dst_end)
             if entry.dst_end > end:
                 offset = end - entry.dst
                 self._add(CttEntry(end, entry.src + offset,
-                                   entry.dst_end - end))
+                                   entry.dst_end - end,
+                                   copy_id=entry.copy_id))
         return affected
 
     def remove_dest_range(self, addr: int, size: int) -> int:
@@ -438,11 +515,15 @@ class CopyTrackingTable:
         addr = align_down(addr, CACHELINE_SIZE)
         if size % CACHELINE_SIZE:
             size = (size // CACHELINE_SIZE + 1) * CACHELINE_SIZE
-        return self._trim_dest_range(addr, size)
+        affected = self._trim_dest_range(addr, size)
+        self._flush_resolved()
+        return affected
 
     def free_hint(self, addr: int, size: int) -> int:
         """MCFREE: drop tracking for destinations inside the freed buffer."""
-        return self._trim_dest_range(addr, size)
+        affected = self._trim_dest_range(addr, size, reason="freed")
+        self._flush_resolved()
+        return affected
 
     def pop_smallest(self) -> Optional[CttEntry]:
         """Claim the smallest active entry for asynchronous resolution.

@@ -54,6 +54,10 @@ class MemoryController:
         self._pending_write_counts: Dict[int, int] = {}
         self._wpq_draining = False
         self._rpq_occupancy = 0
+        # Optional repro.obs tracer (set by runtime.attach_tracer) and
+        # this controller's trace track name.
+        self._trace = None
+        self._track = f"mc{channel_id}"
 
         self._reads = stats.counter("reads", "read packets serviced")
         self._writes = stats.counter("writes", "write packets accepted")
@@ -153,6 +157,10 @@ class MemoryController:
             # back-pressures the sender.
             self._wpq_rejects.inc()
             self._wpq_overflow.append(pkt)
+            if self._trace is not None:
+                self._trace.instant("mc", self._track, "wpq-reject",
+                                    {"addr": hex(pkt.addr),
+                                     "wpq": len(self._wpq)})
         self._kick_wpq_drain()
 
     def _retire_write(self, pkt: Packet) -> None:
@@ -181,6 +189,9 @@ class MemoryController:
                                        * self.WPQ_DRAIN_HIGH)):
             return
         self._wpq_draining = True
+        if self._trace is not None:
+            self._trace.instant("mc", self._track, "wpq-drain-start",
+                                {"wpq": len(self._wpq)})
         self.sim.schedule(1, self._drain_one_write, label="mc-wpq-drain")
 
     def _drain_one_write(self) -> None:

@@ -1,0 +1,39 @@
+"""repro.obs — observability: event tracing, metrics timelines, export.
+
+A near-zero-overhead-when-off structured tracer for the simulator
+(ring-buffered, deterministic, cycle-stamped), a periodic StatGroup
+sampler, and Chrome trace-event / CSV / JSON exporters.  See
+``docs/OBSERVABILITY.md`` for the event schema and span taxonomy, and
+``python -m repro.obs --help`` (or the ``mc2-trace`` console script) for
+the CLI.
+
+Typical library use::
+
+    from repro.obs import TraceConfig, tracing, take_tracers
+    from repro.obs.export import chrome_trace, write_chrome_trace
+
+    with tracing(TraceConfig()):
+        result = run_sequential_access("mcsquare", 0.5)
+        tracer = take_tracers()[0]
+    write_chrome_trace(chrome_trace(tracer), "out.trace.json")
+
+Opt-in for sweeps: ``REPRO_TRACE=on`` (see :mod:`repro.perf.runner`).
+"""
+
+from repro.obs.tracer import (CATEGORIES, DEFAULT_CATEGORIES, TraceConfig,
+                              Tracer, parse_trace_spec)
+from repro.obs.runtime import (attach_tracer, configure, detach_tracer,
+                               take_tracers, tracing)
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "TraceConfig",
+    "Tracer",
+    "parse_trace_spec",
+    "attach_tracer",
+    "configure",
+    "detach_tracer",
+    "take_tracers",
+    "tracing",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.obs`` — see :mod:`repro.obs.cli`."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

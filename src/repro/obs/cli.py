@@ -1,0 +1,182 @@
+"""``mc2-trace`` / ``python -m repro.obs`` — trace workloads, inspect traces.
+
+Subcommands:
+
+- ``run``      run a micro workload with tracing on and export the trace
+- ``summary``  aggregate one exported trace into key numbers
+- ``diff``     compare two trace summaries
+- ``validate`` schema-check an exported Chrome trace JSON
+
+Examples::
+
+    mc2-trace run --workload seq --fraction 0.5 --out seq.trace.json
+    mc2-trace summary seq.trace.json
+    mc2-trace diff seq.trace.json other.trace.json
+    mc2-trace validate seq.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.obs import runtime
+from repro.obs.export import (chrome_trace, diff_summaries, load_trace,
+                              summarize_trace, validate_chrome_trace,
+                              write_chrome_trace, write_timeline_csv,
+                              write_timeline_json)
+from repro.obs.tracer import parse_trace_spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads.micro.access import (run_random_access,
+                                              run_sequential_access)
+
+    config = parse_trace_spec(args.trace)
+    if config is None:
+        print("error: --trace resolves to 'off'; nothing to record",
+              file=sys.stderr)
+        return 2
+    workload = (run_sequential_access if args.workload == "seq"
+                else run_random_access)
+    with runtime.tracing(config):
+        result = workload(args.engine, args.fraction,
+                          buffer_size=args.buffer_kb * 1024,
+                          misalign=args.misalign)
+        tracers = runtime.take_tracers()
+    if not tracers:
+        print("error: the workload attached no tracer", file=sys.stderr)
+        return 1
+
+    exit_code = 0
+    for index, tracer in enumerate(tracers):
+        suffix = f".{index}" if len(tracers) > 1 else ""
+        out = args.out if not suffix else \
+            args.out.replace(".trace.json", f"{suffix}.trace.json")
+        trace = chrome_trace(tracer, label=f"{args.workload}-{args.engine}")
+        problems = validate_chrome_trace(trace)
+        path = write_chrome_trace(trace, out)
+        print(f"wrote {path} ({len(trace['traceEvents'])} events, "
+              f"{tracer.dropped} dropped)")
+        for problem in problems:
+            print(f"  schema problem: {problem}", file=sys.stderr)
+            exit_code = 1
+        if tracer.sampler is not None:
+            if args.timeline_csv:
+                print(f"wrote {write_timeline_csv(tracer.sampler.timeline, args.timeline_csv)}")
+            if args.timeline_json:
+                print(f"wrote {write_timeline_json(tracer.sampler.timeline, args.timeline_json)}")
+        _print_summary(summarize_trace(trace))
+    print(f"workload result: {json.dumps(result, sort_keys=True)}")
+    return exit_code
+
+
+def _print_summary(summary: dict) -> None:
+    print(f"  events={summary['events']} dropped={summary['dropped']} "
+          f"cycles=[{summary['ts_min']}, {summary['ts_max']}]")
+    for cat, count in sorted(summary["by_category"].items()):
+        print(f"  category {cat:<10} {count}")
+    for cat, info in sorted(summary["spans"].items()):
+        reasons = ", ".join(f"{k}={v}"
+                            for k, v in sorted(info["reasons"].items()))
+        print(f"  spans[{cat}] begun={info['begun']} ended={info['ended']}"
+              f" ({reasons})")
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    summary = summarize_trace(load_trace(args.trace_file))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(args.trace_file)
+        _print_summary(summary)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_summaries(summarize_trace(load_trace(args.trace_a)),
+                          summarize_trace(load_trace(args.trace_b)))
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        for key, value in diff["added"].items():
+            print(f"+ {key} = {value}")
+        for key, value in diff["removed"].items():
+            print(f"- {key} = {value}")
+        for key, (old, new) in diff["changed"].items():
+            print(f"~ {key}: {old} -> {new}")
+        if not any(diff.values()):
+            print("summaries are identical")
+    different = any(diff.values())
+    return 1 if (different and args.strict) else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    problems = validate_chrome_trace(load_trace(args.trace_file))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"{args.trace_file}: ok")
+    return 1 if problems else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mc2-trace",
+        description="Trace (MC)2 simulator runs and inspect exported traces")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a traced micro workload")
+    run.add_argument("--workload", choices=("seq", "random"), default="seq")
+    run.add_argument("--engine", default="mcsquare",
+                     help="copy engine variant (default: mcsquare)")
+    run.add_argument("--fraction", type=float, default=0.5,
+                     help="fraction of the destination accessed")
+    run.add_argument("--buffer-kb", type=int, default=256,
+                     help="copy buffer size in KiB (default: 256)")
+    run.add_argument("--misalign", type=int, default=16,
+                     help="source misalignment in bytes (default: 16)")
+    run.add_argument("--trace", default="on",
+                     help="REPRO_TRACE spec (categories/knobs; default: on)")
+    run.add_argument("--out", default="results/traces/obs-run.trace.json",
+                     help="Chrome trace JSON output path")
+    run.add_argument("--timeline-csv", default=None,
+                     help="also write the sampler timeline as CSV")
+    run.add_argument("--timeline-json", default=None,
+                     help="also write the sampler timeline as JSON")
+    run.set_defaults(fn=_cmd_run)
+
+    summary = sub.add_parser("summary", help="summarize an exported trace")
+    summary.add_argument("trace_file")
+    summary.add_argument("--json", action="store_true")
+    summary.set_defaults(fn=_cmd_summary)
+
+    diff = sub.add_parser("diff", help="diff two trace summaries")
+    diff.add_argument("trace_a")
+    diff.add_argument("trace_b")
+    diff.add_argument("--json", action="store_true")
+    diff.add_argument("--strict", action="store_true",
+                      help="exit 1 when the summaries differ")
+    diff.set_defaults(fn=_cmd_diff)
+
+    validate = sub.add_parser("validate",
+                              help="schema-check a Chrome trace JSON")
+    validate.add_argument("trace_file")
+    validate.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,292 @@
+"""Trace exporters, validators, and summary/diff helpers.
+
+The primary format is Chrome trace-event JSON ("JSON Object Format"):
+load the file in https://ui.perfetto.dev or chrome://tracing.  ``ts``
+values are **simulation cycles**, not microseconds — wall time never
+enters a trace.  Serialization is canonical (sorted keys, fixed
+separators), so two identical runs export byte-identical files.
+
+Also here: a structural validator (used by the CI ``obs-smoke`` job and
+``mc2-trace validate``), a trace summarizer, a summary differ, and the
+CSV/JSON timeline writers for the metrics sampler.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_ALLOWED_PH = frozenset({"M", "i", "X", "C", "b", "n", "e"})
+
+
+# ------------------------------------------------------------------ export
+def chrome_trace(tracer, label: str = "repro") -> dict:
+    """Render a :class:`~repro.obs.tracer.Tracer` as a Chrome trace dict.
+
+    Finalizes the tracer (closes unresolved spans, takes the last
+    metrics sample) first.  One Perfetto "thread" track per component,
+    ordered by registration; ``pid`` 1 is the simulated machine.
+    """
+    tracer.finalize()
+    pid = 1
+    trace_events: List[dict] = [
+        {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+         "args": {"name": label}},
+    ]
+    for track, tid in sorted(tracer.tracks().items(), key=lambda kv: kv[1]):
+        trace_events.append({"ph": "M", "pid": pid, "tid": tid,
+                             "name": "thread_name", "args": {"name": track}})
+        trace_events.append({"ph": "M", "pid": pid, "tid": tid,
+                             "name": "thread_sort_index",
+                             "args": {"sort_index": tid}})
+    for ph, cat, tid, name, ts, dur, span_id, args in tracer.events:
+        event: dict = {"ph": ph, "cat": cat, "pid": pid, "tid": tid,
+                       "name": name, "ts": ts}
+        if ph == "X":
+            event["dur"] = dur
+        elif ph == "i":
+            event["s"] = "t"
+        if span_id is not None:
+            event["id"] = span_id
+        if args is not None:
+            event["args"] = args
+        trace_events.append(event)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "tool": "repro.obs",
+            "clock": "cycles",
+            "dropped_events": tracer.dropped,
+            "categories": sorted(tracer.categories),
+        },
+    }
+
+
+def encode_chrome_trace(trace: dict) -> bytes:
+    """Canonical byte encoding: same trace content -> same bytes."""
+    return (json.dumps(trace, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def write_chrome_trace(trace: dict, path) -> Path:
+    """Write a trace dict canonically; returns the path written."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_bytes(encode_chrome_trace(trace))
+    return out
+
+
+def load_trace(path) -> dict:
+    """Load a Chrome trace JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+# ---------------------------------------------------------------- validate
+def validate_chrome_trace(trace: dict) -> List[str]:
+    """Structural schema check; returns a list of problems (empty = ok).
+
+    Checks the trace-event contract Perfetto relies on: known phase
+    codes, integer non-negative timestamps, ids on async events, and
+    begin/end balance per ``(category, id)``.  Balance violations are
+    tolerated when the ring buffer dropped records (the begin may have
+    been evicted).
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return ["trace is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    dropped = 0
+    other = trace.get("otherData")
+    if isinstance(other, dict):
+        dropped = int(other.get("dropped_events", 0) or 0)
+
+    open_spans: Dict[tuple, int] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _ALLOWED_PH:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: name missing or not a string")
+        if not isinstance(event.get("pid"), int) \
+                or not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: pid/tid missing or not integers")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            errors.append(f"{where}: ts missing, non-integer, or negative")
+            continue
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                errors.append(f"{where}: X event needs integer dur >= 0")
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                    isinstance(v, (int, float)) for v in args.values()):
+                errors.append(f"{where}: C event needs numeric args")
+        elif ph in ("b", "n", "e"):
+            span_id = event.get("id")
+            if not isinstance(span_id, str):
+                errors.append(f"{where}: async event needs a string id")
+                continue
+            key = (event.get("cat"), span_id)
+            if ph == "b":
+                open_spans[key] = open_spans.get(key, 0) + 1
+            elif ph == "e":
+                held = open_spans.get(key, 0)
+                if held == 0 and dropped == 0:
+                    errors.append(
+                        f"{where}: span end without begin for id {span_id!r}")
+                elif held:
+                    open_spans[key] = held - 1
+    if dropped == 0:
+        for (cat, span_id), held in sorted(open_spans.items()):
+            if held:
+                errors.append(
+                    f"async span {cat}/{span_id!r} begun but never ended")
+    return errors
+
+
+# --------------------------------------------------------------- summarize
+def summarize_trace(trace: dict) -> dict:
+    """Aggregate a trace into a small comparable summary dict."""
+    events = trace.get("traceEvents", [])
+    tid_names: Dict[int, str] = {}
+    by_category: Dict[str, int] = {}
+    by_name: Dict[str, int] = {}
+    spans: Dict[str, dict] = {}
+    open_ts: Dict[tuple, int] = {}
+    counters_final: Dict[str, float] = {}
+    completes: Dict[str, dict] = {}
+    ts_min: Optional[int] = None
+    ts_max: Optional[int] = None
+    total = 0
+
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                tid_names[event.get("tid", 0)] = event["args"]["name"]
+            continue
+        total += 1
+        cat = event.get("cat", "?")
+        name = event.get("name", "?")
+        ts = event.get("ts", 0)
+        ts_min = ts if ts_min is None else min(ts_min, ts)
+        ts_max = ts if ts_max is None else max(ts_max, ts)
+        by_category[cat] = by_category.get(cat, 0) + 1
+        by_name[f"{cat}/{name}"] = by_name.get(f"{cat}/{name}", 0) + 1
+        if ph == "C":
+            track = tid_names.get(event.get("tid", 0), str(event.get("tid")))
+            for key, value in event.get("args", {}).items():
+                counters_final[f"{track}/{name}.{key}"] = value
+        elif ph == "X":
+            bucket = completes.setdefault(
+                f"{cat}/{name}", {"count": 0, "total_dur": 0})
+            bucket["count"] += 1
+            bucket["total_dur"] += event.get("dur", 0)
+        elif ph in ("b", "e"):
+            info = spans.setdefault(cat, {
+                "begun": 0, "ended": 0, "reasons": {},
+                "dur_total": 0, "dur_min": None, "dur_max": None})
+            if ph == "b":
+                info["begun"] += 1
+                open_ts[(cat, event.get("id"))] = ts
+            else:
+                info["ended"] += 1
+                reason = str(event.get("args", {}).get("reason", "?"))
+                info["reasons"][reason] = info["reasons"].get(reason, 0) + 1
+                begin = open_ts.pop((cat, event.get("id")), None)
+                if begin is not None:
+                    dur = ts - begin
+                    info["dur_total"] += dur
+                    if info["dur_min"] is None or dur < info["dur_min"]:
+                        info["dur_min"] = dur
+                    if info["dur_max"] is None or dur > info["dur_max"]:
+                        info["dur_max"] = dur
+
+    other = trace.get("otherData", {})
+    return {
+        "events": total,
+        "dropped": other.get("dropped_events", 0),
+        "ts_min": ts_min if ts_min is not None else 0,
+        "ts_max": ts_max if ts_max is not None else 0,
+        "by_category": by_category,
+        "by_name": by_name,
+        "spans": spans,
+        "completes": completes,
+        "counters_final": counters_final,
+    }
+
+
+def flatten_summary(summary: dict, prefix: str = "") -> Dict[str, object]:
+    """Dotted-key flattening of a summary (for diffing)."""
+    out: Dict[str, object] = {}
+    for key, value in summary.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten_summary(value, path + "."))
+        else:
+            out[path] = value
+    return out
+
+
+def diff_summaries(a: dict, b: dict) -> dict:
+    """Structural diff of two summaries: added/removed/changed keys."""
+    flat_a = flatten_summary(a)
+    flat_b = flatten_summary(b)
+    added = {k: flat_b[k] for k in sorted(set(flat_b) - set(flat_a))}
+    removed = {k: flat_a[k] for k in sorted(set(flat_a) - set(flat_b))}
+    changed = {k: [flat_a[k], flat_b[k]]
+               for k in sorted(set(flat_a) & set(flat_b))
+               if flat_a[k] != flat_b[k]}
+    return {"added": added, "removed": removed, "changed": changed}
+
+
+# ---------------------------------------------------------------- timeline
+def write_timeline_csv(timeline: List[Dict[str, float]], path) -> Path:
+    """Write sampler rows as CSV (cycle first, then sorted columns)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    columns: List[str] = ["cycle"]
+    seen = {"cycle"}
+    for row in timeline:
+        for key in sorted(row):
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    lines = [",".join(columns)]
+    for row in timeline:
+        lines.append(",".join(
+            _csv_cell(row.get(column)) for column in columns))
+    out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return out
+
+
+def _csv_cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def write_timeline_json(timeline: List[Dict[str, float]], path) -> Path:
+    """Write sampler rows as canonical JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(timeline, sort_keys=True,
+                              separators=(",", ":")) + "\n",
+                   encoding="utf-8")
+    return out

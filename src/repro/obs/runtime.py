@@ -1,0 +1,212 @@
+"""Process-wide tracing runtime: attach, collect, export.
+
+``System.__init__`` asks this module whether tracing is configured and,
+if so, attaches a fully wired :class:`~repro.obs.tracer.Tracer` to every
+instrumented component.  The configuration is process-local and is set
+only by entry points that own the process (the ``mc2-trace`` CLI, the
+``repro.perf`` runner via ``REPRO_TRACE``, tests) — never from ambient
+state read inside a sim point, so sim-point purity and the fork-safety
+rules hold.
+
+Under ``sim_map`` each forked worker inherits the parent's
+configuration, configures itself on first use, runs its points with
+tracing attached, and exports each point's traces to content-addressed
+filenames before returning — so a parallel sweep writes the same files
+with the same bytes as a serial one, regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.tracer import TraceConfig, Tracer, parse_trace_spec
+
+#: Default export directory for runner-driven traces, relative to the
+#: repository root's ``results/`` convention used by repro.perf.
+DEFAULT_TRACE_DIR = "results/traces"
+
+
+class _TraceRuntime:
+    """Holder for the process-local tracing state (config + live tracers).
+
+    The ``repr`` deliberately exposes only whether tracing is configured:
+    the simsan module-global audit fingerprints reprs around sim points,
+    and the active-tracer list is always drained back to empty before a
+    point returns.
+    """
+
+    def __init__(self) -> None:
+        self.config: Optional[TraceConfig] = None
+        self.active: List[Tracer] = []
+
+    def __repr__(self) -> str:
+        return f"_TraceRuntime(configured={self.config is not None})"
+
+
+_STATE = _TraceRuntime()
+
+
+# -------------------------------------------------------------- configure
+def configure(config: Optional[TraceConfig]) -> None:
+    """Set (or clear, with ``None``) the process tracing configuration."""
+    _STATE.config = config
+
+
+def configure_from_spec(spec: str, out_dir: Optional[str] = None) -> bool:
+    """Parse and install a ``REPRO_TRACE`` spec; idempotent.
+
+    An already-installed configuration wins (an explicit
+    :func:`configure` beats an inherited environment spec).  Returns
+    True when tracing is configured after the call.
+    """
+    if _STATE.config is None:
+        _STATE.config = parse_trace_spec(spec, out_dir=out_dir)
+    return _STATE.config is not None
+
+
+def unconfigure() -> None:
+    """Clear the configuration and forget uncollected tracers."""
+    _STATE.config = None
+    _STATE.active.clear()
+
+
+def is_configured() -> bool:
+    """True when systems built in this process attach tracers."""
+    return _STATE.config is not None
+
+
+def current_config() -> Optional[TraceConfig]:
+    """The installed configuration, if any."""
+    return _STATE.config
+
+
+@contextmanager
+def tracing(config: TraceConfig):
+    """Scoped configuration (tests, CLI): restores the prior state."""
+    previous = _STATE.config
+    _STATE.config = config
+    try:
+        yield
+    finally:
+        _STATE.config = previous
+        _STATE.active.clear()
+
+
+# ----------------------------------------------------------------- attach
+def attach_if_configured(system) -> Optional[Tracer]:
+    """Called by ``System.__init__``: attach a tracer when configured."""
+    config = _STATE.config
+    if config is None:
+        return None
+    return attach_tracer(system, config)
+
+
+def attach_tracer(system, config: Optional[TraceConfig] = None) -> Tracer:
+    """Wire a :class:`Tracer` into every instrumented component.
+
+    Pre-registers the component tracks in a canonical order (so track
+    ids — and hence exported bytes — do not depend on which component
+    emits first), installs the engine hook and the metrics sampler, and
+    records the tracer for later collection by :func:`take_tracers`.
+    """
+    from repro.obs.sampler import MetricsSampler
+
+    tracer = Tracer(system.sim, config or _STATE.config or TraceConfig())
+    tracer.track("engine")
+    if system.ctt is not None:
+        tracer.track("ctt")
+    tracer.track("caches")
+    for mc in system.controllers:
+        tracer.track(f"mc{mc.channel_id}")
+        if getattr(mc, "bpq", None) is not None:
+            tracer.track(f"bpq{mc.channel_id}")
+        tracer.track(f"dram{mc.channel_id}")
+    tracer.track("faults")
+    tracer.track("metrics")
+
+    system.sim.enable_tracing(tracer.on_engine_event)
+    tracer.sampler = MetricsSampler(system, tracer)
+    if system.ctt is not None:
+        system.ctt._trace = tracer
+    for mc in system.controllers:
+        mc._trace = tracer
+        bpq = getattr(mc, "bpq", None)
+        if bpq is not None:
+            bpq._trace = tracer
+        mc.channel._trace = tracer
+        mc.channel._track = f"dram{mc.channel_id}"
+    system.hierarchy._trace = tracer
+    _STATE.active.append(tracer)
+    return tracer
+
+
+def detach_tracer(system) -> None:
+    """Remove a previously attached tracer from ``system``."""
+    system.sim.disable_tracing()
+    if system.ctt is not None:
+        system.ctt._trace = None
+    for mc in system.controllers:
+        mc._trace = None
+        bpq = getattr(mc, "bpq", None)
+        if bpq is not None:
+            bpq._trace = None
+        mc.channel._trace = None
+    system.hierarchy._trace = None
+    system.tracer = None
+
+
+def take_tracers() -> List[Tracer]:
+    """Collect (and forget) every tracer attached since the last take."""
+    taken = list(_STATE.active)
+    _STATE.active.clear()
+    return taken
+
+
+# ----------------------------------------------------------------- export
+def point_digest(name: str, args: tuple, kwargs: dict) -> str:
+    """Deterministic short id for one sim point's parameters."""
+    key = repr((name, args, tuple(sorted(kwargs.items()))))
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+
+
+def export_point_traces(name: str, args: tuple, kwargs: dict) -> List[Path]:
+    """Export every pending tracer for one completed sim point.
+
+    Filenames are content-addressed by the point's parameters, so a
+    parallel sweep and a serial sweep of the same points write the same
+    files — worker identity and completion order never leak in.
+    """
+    from repro.obs.export import chrome_trace, write_chrome_trace
+
+    tracers = take_tracers()
+    if not tracers:
+        return []
+    config = _STATE.config
+    out_dir = Path((config.out_dir if config is not None else None)
+                   or DEFAULT_TRACE_DIR)
+    digest = point_digest(name, args, kwargs)
+    written: List[Path] = []
+    for index, tracer in enumerate(tracers):
+        suffix = f".{index}" if len(tracers) > 1 else ""
+        path = out_dir / f"{name}.{digest}{suffix}.trace.json"
+        trace = chrome_trace(tracer, label=f"{name}.{digest}{suffix}")
+        written.append(write_chrome_trace(trace, path))
+    return written
+
+
+def traced(fn, name: str):
+    """Wrap a sim-point callable: run it, then export its traces."""
+
+    def _traced_point(*args, **kwargs):
+        # Export in finally: a crashed point's partial trace is exactly
+        # the artifact needed to debug it, and draining the pending
+        # tracers keeps a failure from leaking into the next point.
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            export_point_traces(name, args, kwargs)
+
+    return _traced_point

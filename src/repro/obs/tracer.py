@@ -1,0 +1,286 @@
+"""Ring-buffered, cycle-stamped structured tracer.
+
+The tracer is a passive observer: it never schedules simulator events and
+never reads wall clocks, so a traced run produces bit-identical
+simulation results to an untraced one.  Timestamps are simulation cycles
+taken from the owning :class:`~repro.sim.engine.Simulator`.
+
+Event records follow the Chrome trace-event model (see
+``docs/OBSERVABILITY.md``):
+
+- *instants* (``ph: "i"``) — a point in time on a component track;
+- *completes* (``ph: "X"``) — a duration known at emission time
+  (e.g. one DRAM access from first command to data return);
+- *counters* (``ph: "C"``) — sampled time-series values;
+- *async spans* (``ph: "b"/"n"/"e"``) — long-lived operations that begin
+  and end in different callbacks, matched by ``(category, id)``.  Every
+  prospective copy registered in the CTT is exactly one such span.
+
+Records land in a bounded ring; when full, the oldest records are
+dropped (and counted) so tracing long runs cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+#: Every category the instrumented components emit under.
+CATEGORIES = frozenset({
+    "engine",    # one instant per fired simulator event (firehose)
+    "mc",        # base memory-controller queue events
+    "mcsquare",  # (MC)2 controller: bounces, materializes, fallbacks
+    "copy",      # copy-lifecycle async spans (one per CTT registration)
+    "bpq",       # bounce-pending-queue park/merge/drain spans
+    "cache",     # cache-hierarchy MCLAZY/MCFREE/bulk-copy handling
+    "dram",      # per-access DRAM timing (firehose)
+    "faults",    # fault-injector instants (bitflips, drops, link faults)
+    "sampler",   # periodic StatGroup counter snapshots
+})
+
+#: Categories enabled by ``REPRO_TRACE=on``.  The two firehoses
+#: ("engine", "dram") are opt-in by name: they dominate ring capacity on
+#: any non-trivial run without adding copy-lifecycle information.
+DEFAULT_CATEGORIES = frozenset(CATEGORIES - {"engine", "dram"})
+
+DEFAULT_CAPACITY = 262_144
+DEFAULT_SAMPLE_EVERY = 2_048
+
+#: Spec tokens meaning "tracing off".
+OFF_TOKENS = frozenset({"", "0", "off", "false", "none"})
+
+
+class TraceConfig:
+    """Parsed tracing configuration (categories, ring size, cadence)."""
+
+    __slots__ = ("categories", "capacity", "sample_every", "out_dir")
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 capacity: int = DEFAULT_CAPACITY,
+                 sample_every: int = DEFAULT_SAMPLE_EVERY,
+                 out_dir: Optional[str] = None):
+        self.categories = frozenset(
+            DEFAULT_CATEGORIES if categories is None else categories)
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.out_dir = out_dir
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceConfig(categories={sorted(self.categories)}, "
+                f"capacity={self.capacity}, sample_every={self.sample_every})")
+
+
+def parse_trace_spec(spec: str, out_dir: Optional[str] = None) -> Optional[TraceConfig]:
+    """Parse a ``REPRO_TRACE`` spec string into a :class:`TraceConfig`.
+
+    Grammar (comma-separated tokens, case-insensitive):
+
+    - ``off`` / ``0`` / ``false`` / empty → ``None`` (tracing disabled)
+    - ``on`` / ``1`` / ``default``        → the default category set
+    - ``all``                             → every category
+    - a category name (``copy``, ``bpq``, ...) → that category only
+    - ``sample=N``    → sampler cadence in fired events
+    - ``capacity=N``  → ring-buffer capacity in records
+
+    e.g. ``REPRO_TRACE=copy,bpq,sampler,sample=512``.
+    """
+    tokens = [t.strip().lower() for t in spec.split(",")]
+    tokens = [t for t in tokens if t]
+    if not tokens or all(t in OFF_TOKENS for t in tokens):
+        return None
+    categories: set = set()
+    capacity = DEFAULT_CAPACITY
+    sample_every = DEFAULT_SAMPLE_EVERY
+    for token in tokens:
+        if token in OFF_TOKENS:
+            continue
+        if token in ("on", "1", "default", "true"):
+            categories |= DEFAULT_CATEGORIES
+        elif token == "all":
+            categories |= CATEGORIES
+        elif token.startswith("sample="):
+            sample_every = _parse_knob(token)
+        elif token.startswith("capacity="):
+            capacity = _parse_knob(token)
+        elif token in CATEGORIES:
+            categories.add(token)
+        else:
+            raise ConfigError(
+                f"unknown REPRO_TRACE token {token!r}; "
+                f"categories are {', '.join(sorted(CATEGORIES))}")
+    if not categories:
+        categories = set(DEFAULT_CATEGORIES)
+    return TraceConfig(categories, capacity, sample_every, out_dir)
+
+
+def _parse_knob(token: str) -> int:
+    name, _, raw = token.partition("=")
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_TRACE {name}= expects an integer, got {raw!r}")
+    if value <= 0:
+        raise ConfigError(f"REPRO_TRACE {name}= must be positive, got {value}")
+    return value
+
+
+class Tracer:
+    """Collects trace records for one simulated :class:`System`.
+
+    One record is a tuple ``(ph, cat, tid, name, ts, dur, span_id,
+    args)``; exporters translate them to Chrome trace-event JSON.  All
+    emission methods are cheap no-ops for categories outside
+    :attr:`categories`.
+    """
+
+    __slots__ = ("sim", "categories", "capacity", "sample_every", "events",
+                 "dropped", "sampler", "finalized", "_tracks", "_open_spans",
+                 "_since_sample")
+
+    def __init__(self, sim, config: Optional[TraceConfig] = None):
+        cfg = config or TraceConfig()
+        self.sim = sim
+        self.categories = cfg.categories
+        self.capacity = cfg.capacity
+        self.sample_every = cfg.sample_every
+        self.events: Deque[tuple] = deque()
+        self.dropped = 0
+        # Attached by repro.obs.runtime.attach_tracer; drives the
+        # metrics time-series.  Optional so unit tests can run bare.
+        self.sampler = None
+        self.finalized = False
+        # Track name -> tid, in first-registration order (deterministic:
+        # attach_tracer pre-registers the canonical component tracks).
+        self._tracks: Dict[str, int] = {}
+        # (category, span_id) -> (tid, name) for open async spans, in
+        # begin order so finalize() closes leftovers deterministically.
+        self._open_spans: Dict[Tuple[str, str], Tuple[int, str]] = {}
+        self._since_sample = 0
+
+    # ------------------------------------------------------------- plumbing
+    def wants(self, category: str) -> bool:
+        """True when ``category`` is being recorded."""
+        return category in self.categories
+
+    def track(self, name: str) -> int:
+        """Get or assign the thread-track id for component ``name``."""
+        tid = self._tracks.get(name)
+        if tid is None:
+            tid = len(self._tracks) + 1
+            self._tracks[name] = tid
+        return tid
+
+    def tracks(self) -> Dict[str, int]:
+        """Registered track names -> tids (insertion order)."""
+        return dict(self._tracks)
+
+    def _push(self, record: tuple) -> None:
+        events = self.events
+        if len(events) >= self.capacity:
+            events.popleft()
+            self.dropped += 1
+        events.append(record)
+
+    # ------------------------------------------------------------- emission
+    def instant(self, category: str, track: str, name: str,
+                args: Optional[dict] = None) -> None:
+        """A point event at the current cycle on ``track``."""
+        if category not in self.categories:
+            return
+        self._push(("i", category, self.track(track), name,
+                    self.sim.now, 0, None, args))
+
+    def complete(self, category: str, track: str, name: str,
+                 start: int, end: int, args: Optional[dict] = None) -> None:
+        """A duration event covering ``[start, end]`` cycles."""
+        if category not in self.categories:
+            return
+        self._push(("X", category, self.track(track), name,
+                    start, end - start, None, args))
+
+    def counter(self, category: str, track: str, name: str,
+                values: dict) -> None:
+        """A counter sample (one series per key of ``values``)."""
+        if category not in self.categories:
+            return
+        self._push(("C", category, self.track(track), name,
+                    self.sim.now, 0, None, values))
+
+    def span_begin(self, category: str, track: str, name: str,
+                   span_id: str, args: Optional[dict] = None) -> None:
+        """Open an async span matched by ``(category, span_id)``."""
+        if category not in self.categories:
+            return
+        tid = self.track(track)
+        self._open_spans[(category, span_id)] = (tid, name)
+        self._push(("b", category, tid, name, self.sim.now, 0, span_id, args))
+
+    def span_point(self, category: str, track: str, name: str,
+                   span_id: str, args: Optional[dict] = None) -> None:
+        """An instant nested inside an open async span."""
+        if category not in self.categories:
+            return
+        self._push(("n", category, self.track(track), name,
+                    self.sim.now, 0, span_id, args))
+
+    def span_end(self, category: str, span_id: str,
+                 args: Optional[dict] = None) -> None:
+        """Close the async span opened under ``(category, span_id)``."""
+        if category not in self.categories:
+            return
+        open_info = self._open_spans.pop((category, span_id), None)
+        if open_info is None:
+            # End without a recorded begin (e.g. the begin predates a
+            # ring-buffer wrap).  Emit anyway; validators tolerate it
+            # only when records were dropped.
+            tid, name = self.track("orphans"), "span"
+        else:
+            tid, name = open_info
+        self._push(("e", category, tid, name, self.sim.now, 0, span_id, args))
+
+    # ------------------------------------------------------------ engine hook
+    def on_engine_event(self, label: str, now: int) -> None:
+        """Per-fired-event hook installed via ``Simulator.enable_tracing``.
+
+        Also drives the metrics sampler every ``sample_every`` fired
+        events — sampling piggybacks on event execution instead of
+        scheduling its own events, so the event queue (and therefore the
+        simulation) is identical with tracing on or off.
+        """
+        if "engine" in self.categories:
+            self._push(("i", "engine", self.track("engine"),
+                        label or "<unlabelled>", now, 0, None, None))
+        sampler = self.sampler
+        if sampler is not None:
+            self._since_sample += 1
+            if self._since_sample >= self.sample_every:
+                self._since_sample = 0
+                sampler.sample(now)
+
+    # ------------------------------------------------------------- lifecycle
+    def open_span_count(self) -> int:
+        """Async spans begun but not yet ended."""
+        return len(self._open_spans)
+
+    def finalize(self) -> None:
+        """Take a final metrics sample and close leftover spans.
+
+        Spans still open (copies never resolved before the run ended)
+        are ended at the final cycle with ``reason="unresolved"`` so the
+        exported trace is balanced.  Idempotent.
+        """
+        if self.finalized:
+            return
+        self.finalized = True
+        if self.sampler is not None:
+            self.sampler.sample(self.sim.now)
+        for (category, span_id), (tid, name) in list(self._open_spans.items()):
+            self._push(("e", category, tid, name, self.sim.now, 0, span_id,
+                        {"reason": "unresolved"}))
+        self._open_spans.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Tracer(events={len(self.events)}, dropped={self.dropped}, "
+                f"open_spans={len(self._open_spans)})")

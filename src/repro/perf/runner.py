@@ -20,6 +20,13 @@ With ``REPRO_SIMSAN=1`` every point runs under the runtime sanitizer
 (:mod:`repro.analysis.simsan`): module globals are snapshotted around
 each call to catch cross-fork mutation, and a periodic sample of cache
 hits is recomputed and compared against the stored value.
+
+With ``REPRO_TRACE=<spec>`` (see :mod:`repro.obs`) every point runs with
+the observability tracer attached, and each point's traces are exported
+to content-addressed files under ``REPRO_TRACE_DIR`` (default
+``results/traces``) as the point completes.  Traced sweeps bypass the
+result cache — a cache hit would skip the simulation, and there is no
+trace without a run.
 """
 
 from __future__ import annotations
@@ -59,6 +66,12 @@ def jobs_from_env() -> int:
         return 1
 
 
+def _tracing_requested() -> bool:
+    """True when ``REPRO_TRACE`` asks for the observability tracer."""
+    from repro.obs.tracer import OFF_TOKENS
+    return os.environ.get("REPRO_TRACE", "").strip().lower() not in OFF_TOKENS
+
+
 def _sanitizer():
     """The simsan module when ``REPRO_SIMSAN`` is active, else None.
 
@@ -73,11 +86,22 @@ def _sanitizer():
 
 
 def _run_point(point: SimPoint) -> Any:
+    fn = point.fn
+    if _tracing_requested():
+        # Install the inherited REPRO_TRACE spec (idempotent: an explicit
+        # runtime.configure wins) and export this point's traces to
+        # content-addressed files as it completes — identical paths and
+        # bytes whether the sweep ran serial or forked.
+        from repro.obs import runtime as obs_runtime
+        if obs_runtime.configure_from_spec(
+                os.environ.get("REPRO_TRACE", ""),
+                out_dir=os.environ.get("REPRO_TRACE_DIR")):
+            fn = obs_runtime.traced(fn, point.name)
     san = _sanitizer()
     if san is not None:
-        return san.checked_call(point.fn, point.args, point.kwargs,
+        return san.checked_call(fn, point.args, point.kwargs,
                                 point.name)
-    return point.fn(*point.args, **point.kwargs)
+    return fn(*point.args, **point.kwargs)
 
 
 def _init_worker() -> None:
@@ -106,7 +130,10 @@ def sim_map(points: Iterable[SimPoint],
     points = list(points)
     if jobs is None:
         jobs = jobs_from_env()
-    use_cache = cache and (store is not None or cache_enabled())
+    # A traced sweep must execute every point: serving a result from the
+    # cache would produce no trace file for it.
+    use_cache = cache and not _tracing_requested() \
+        and (store is not None or cache_enabled())
     if use_cache and store is None:
         store = SimCache()
 

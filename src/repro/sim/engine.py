@@ -16,9 +16,10 @@ would call :meth:`Event.__lt__` once per sift step — the single largest
 engine overhead at paper-exhibit scale.
 
 ``run()`` dispatches to one of two loops.  The fast loop assumes no
-watchdog and no profiler and keeps everything it touches in locals; the
-observed loop pays for :meth:`~repro.faults.watchdog.Watchdog.observe`
-and/or per-label cost accounting.  The split means a watchdog attached
+watchdog, no profiler, and no tracer, and keeps everything it touches in
+locals; the observed loop pays for
+:meth:`~repro.faults.watchdog.Watchdog.observe`, per-label cost
+accounting, and/or the per-event trace hook.  The split means a watchdog attached
 *while* ``run()`` is executing (from inside a callback) takes effect on
 the next ``run()``/``step()`` call, not mid-drain; every existing caller
 attaches before running.
@@ -96,6 +97,10 @@ class Simulator:
         # engine itself, so default behaviour stays wall-clock free.
         self._profile_clock: Optional[Callable[[], float]] = None
         self._label_costs: Optional[Dict[str, List[float]]] = None
+        # Optional event tracer (see repro.obs.tracer.Tracer): called as
+        # hook(label, now) after every fired event.  When None, run()
+        # takes the fast loop and the hot path pays nothing.
+        self._trace_hook: Optional[Callable[[str, int], None]] = None
 
     # ------------------------------------------------------------ schedule
     def schedule(self, delay: int, callback: Callback, label: str = "") -> Event:
@@ -149,7 +154,8 @@ class Simulator:
         Runs until the queue is empty, or the clock would pass ``until``
         (events at exactly ``until`` still fire).  Returns the final clock.
         """
-        if self.watchdog is not None or self._profile_clock is not None:
+        if (self.watchdog is not None or self._profile_clock is not None
+                or self._trace_hook is not None):
             return self._run_observed(until, max_events)
 
         # Fast loop: hot names bound locally, no watchdog or profiler
@@ -222,6 +228,8 @@ class Simulator:
             self._events_fired += 1
             if self.watchdog is not None:
                 self.watchdog.observe(event.label, self.now)
+            if self._trace_hook is not None:
+                self._trace_hook(event.label, self.now)
             if fired >= max_events and queue:
                 self._raise_livelock(max_events)
         if until is not None and until > self.now:
@@ -249,6 +257,8 @@ class Simulator:
             self.now = when
             event.callback()
             self._events_fired += 1
+            if self._trace_hook is not None:
+                self._trace_hook(event.label, self.now)
             return True
         return False
 
@@ -267,6 +277,21 @@ class Simulator:
     def disable_profiling(self) -> None:
         """Stop recording callback costs (retains collected data)."""
         self._profile_clock = None
+
+    # ------------------------------------------------------------- tracing
+    def enable_tracing(self, hook: Callable[[str, int], None]) -> None:
+        """Invoke ``hook(label, now)`` after every fired event.
+
+        Like the watchdog/profiler, attaching mid-``run()`` takes effect
+        on the next ``run()``/``step()`` call.  The hook must not
+        schedule events — it observes the simulation, it is not part of
+        it (see :mod:`repro.obs`).
+        """
+        self._trace_hook = hook
+
+    def disable_tracing(self) -> None:
+        """Detach the event trace hook; run() returns to the fast loop."""
+        self._trace_hook = None
 
     def label_costs(self) -> Dict[str, Dict[str, float]]:
         """Collected per-label costs: count/total/min/max seconds."""

@@ -31,6 +31,7 @@ from repro.mcsquare.controller import McSquareController
 from repro.mcsquare.ctt import CopyTrackingTable
 from repro.faults.watchdog import Watchdog
 from repro.interconnect.bus import Interconnect
+from repro.obs.runtime import attach_if_configured
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatGroup
 from repro.system.config import SystemConfig
@@ -55,7 +56,8 @@ class System:
         self.controllers: List[MemoryController] = []
         if self.config.mcsquare_enabled:
             self.ctt = CopyTrackingTable(self.config.ctt_entries,
-                                         self.stats.group("ctt"))
+                                         self.stats.group("ctt"),
+                                         clock=self._now)
             for ch in range(self.config.dram_channels):
                 self.controllers.append(McSquareController(
                     self.sim, ch, self.address_map, self.backing,
@@ -94,6 +96,16 @@ class System:
         # Simple bump allocator over physical memory; skip the first page
         # so address 0 stays unmapped (catches stray null derefs).
         self._alloc_cursor = 4096
+
+        # repro.obs: when tracing is configured for this process (via
+        # runtime.configure / the REPRO_TRACE env handled by the perf
+        # runner), every System built gets a tracer; otherwise None and
+        # the simulation carries zero instrumentation overhead.
+        self.tracer = attach_if_configured(self)
+
+    def _now(self) -> int:
+        """Current simulation cycle (CTT copy-lifetime clock)."""
+        return self.sim.now
 
     # --------------------------------------------------------- allocation
     def alloc(self, size: int, align: int = CACHELINE_SIZE) -> int:

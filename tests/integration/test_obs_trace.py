@@ -1,0 +1,227 @@
+"""End-to-end observability checks over real simulated workloads.
+
+The acceptance contract for repro.obs:
+
+* every prospective copy registered in the CTT is exactly one async
+  span in the exported Chrome trace, with begin/end counts matching the
+  CTT's own ``inserts``/``copies_resolved`` stats and span durations
+  matching the ``copy_lifetime`` distribution samples;
+* tracing changes nothing: a traced run and an untraced run of the same
+  workload produce identical cycles and an identical flattened stats
+  tree;
+* exports are deterministic: the same run traced twice writes
+  byte-identical files, serial or under a forked ``sim_map`` sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.common.units import KB
+from repro.isa import ops
+from repro.obs import runtime
+from repro.obs.cli import main as trace_cli
+from repro.obs.export import (chrome_trace, encode_chrome_trace,
+                              summarize_trace, validate_chrome_trace)
+from repro.obs.tracer import CATEGORIES, TraceConfig
+from repro.perf.runner import SimPoint, sim_map
+from repro.system.config import SystemConfig
+from repro.system.system import System
+from repro.workloads.micro.access import run_sequential_access
+
+SMALL = SystemConfig(l1_size=8 * KB, l2_size=64 * KB)
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime(monkeypatch):
+    monkeypatch.setenv("REPRO_SIMCACHE", "off")
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_PERF_WORKER", raising=False)
+    runtime.unconfigure()
+    yield
+    runtime.unconfigure()
+
+
+def _copy_program(system, engine, dst, src, size):
+    def program():
+        yield from engine.copy_ops(dst, src, size)
+        yield from engine.read_ops(dst, 8)
+        yield ops.compute(1)
+    return program
+
+
+def _traced_copy_system():
+    from repro.workloads.common import fill_pattern, make_engine
+
+    with runtime.tracing(TraceConfig(categories=CATEGORIES)):
+        system = System(SMALL)
+        engine = make_engine("mcsquare", system)
+        src = system.alloc(64 * KB + 4096, align=4096) + 16
+        dst = system.alloc(64 * KB + 4096, align=4096)
+        fill_pattern(system, src, 32 * KB)
+        system.run_program(
+            _copy_program(system, engine, dst, src, 32 * KB)())
+        system.drain()
+        [tracer] = runtime.take_tracers()
+    return system, tracer
+
+
+class TestCopyLifecycleSpans:
+    def test_one_span_per_registered_copy(self):
+        system, tracer = _traced_copy_system()
+        trace = chrome_trace(tracer, label="copies")
+        assert validate_chrome_trace(trace) == []
+
+        events = trace["traceEvents"]
+        begins = [e for e in events if e["ph"] == "b" and e["cat"] == "copy"]
+        ends = [e for e in events if e["ph"] == "e" and e["cat"] == "copy"]
+        ctt_stats = system.stats.children["ctt"]
+
+        inserts = int(ctt_stats.counters["inserts"].value)
+        assert inserts > 0
+        assert len(begins) == inserts
+        assert len(ends) == len(begins)
+        assert len({e["id"] for e in begins}) == len(begins)
+
+        resolved = [e for e in ends
+                    if e.get("args", {}).get("reason") != "unresolved"]
+        assert len(resolved) == \
+            int(ctt_stats.counters["copies_resolved"].value)
+
+    def test_span_cycles_match_ctt_lifetime_stats(self):
+        system, tracer = _traced_copy_system()
+        trace = chrome_trace(tracer, label="copies")
+        events = trace["traceEvents"]
+        begin_ts = {e["id"]: e["ts"] for e in events
+                    if e["ph"] == "b" and e["cat"] == "copy"}
+        durations = sorted(
+            e["ts"] - begin_ts[e["id"]] for e in events
+            if e["ph"] == "e" and e["cat"] == "copy"
+            and e.get("args", {}).get("reason") != "unresolved")
+
+        lifetime = system.stats.children["ctt"].distributions["copy_lifetime"]
+        assert durations == sorted(lifetime.samples)
+        assert len(durations) == lifetime.count
+
+
+class TestTracingIsInert:
+    def test_traced_and_untraced_runs_are_bit_identical(self):
+        from repro.perf.microbench import seq_access_stats_point
+
+        plain = seq_access_stats_point(buffer_size=16 * KB, fraction=0.5)
+        with runtime.tracing(TraceConfig()):
+            traced = seq_access_stats_point(buffer_size=16 * KB,
+                                            fraction=0.5)
+            runtime.take_tracers()
+        assert traced["cycles"] == plain["cycles"]
+        assert traced["stats"] == plain["stats"]
+
+    def test_two_traced_runs_export_identical_bytes(self):
+        def one_run():
+            with runtime.tracing(TraceConfig(categories=CATEGORIES)):
+                run_sequential_access("mcsquare", 0.5,
+                                      buffer_size=32 * KB, config=SMALL)
+                [tracer] = runtime.take_tracers()
+            return encode_chrome_trace(chrome_trace(tracer, label="det"))
+
+        assert one_run() == one_run()
+
+
+class TestRunnerIntegration:
+    def _sweep(self, tmp_path, monkeypatch, jobs, subdir):
+        out_dir = tmp_path / subdir
+        monkeypatch.setenv("REPRO_TRACE", "on")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(out_dir))
+        monkeypatch.setenv("REPRO_JOBS", str(jobs))
+        points = [
+            SimPoint(run_sequential_access, ("mcsquare", f),
+                     {"buffer_size": 16 * KB, "config": SMALL})
+            for f in (0.0, 0.5)
+        ]
+        results = sim_map(points)
+        runtime.unconfigure()
+        files = {p.name: p.read_bytes()
+                 for p in sorted(out_dir.glob("*.trace.json"))}
+        return results, files
+
+    def test_parallel_traced_sweep_matches_serial(self, tmp_path,
+                                                  monkeypatch):
+        serial_results, serial_files = self._sweep(
+            tmp_path, monkeypatch, jobs=1, subdir="serial")
+        parallel_results, parallel_files = self._sweep(
+            tmp_path, monkeypatch, jobs=2, subdir="parallel")
+        assert serial_results == parallel_results
+        assert len(serial_files) == 2
+        assert serial_files == parallel_files
+
+    def test_traced_sweep_bypasses_result_cache(self, tmp_path,
+                                                monkeypatch):
+        from repro.perf.cache import SimCache
+
+        monkeypatch.setenv("REPRO_TRACE", "on")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "t"))
+        store = SimCache(root=tmp_path / "cache")
+        point = SimPoint(run_sequential_access, ("mcsquare", 0.5),
+                         {"buffer_size": 16 * KB, "config": SMALL})
+        sim_map([point], store=store)
+        runtime.unconfigure()
+        # Nothing may have been cached: a hit would skip the traced run.
+        assert not list((tmp_path / "cache").rglob("*.json"))
+
+    def test_untraced_sweep_attaches_no_tracer(self):
+        point = SimPoint(run_sequential_access, ("mcsquare", 0.5),
+                         {"buffer_size": 16 * KB, "config": SMALL})
+        sim_map([point], cache=False)
+        assert runtime.take_tracers() == []
+        assert not runtime.is_configured()
+
+
+class TestCli:
+    def test_run_summary_diff_validate(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        csv = tmp_path / "run.csv"
+        code = trace_cli(["run", "--workload", "seq", "--buffer-kb", "32",
+                          "--out", str(out), "--timeline-csv", str(csv)])
+        assert code == 0
+        assert out.exists()
+        assert csv.read_text().startswith("cycle,")
+        assert not runtime.is_configured()
+
+        assert trace_cli(["validate", str(out)]) == 0
+        capsys.readouterr()  # drain prior output
+        assert trace_cli(["summary", str(out), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["spans"]["copy"]["begun"] >= 1
+
+        assert trace_cli(["diff", str(out), str(out), "--strict"]) == 0
+
+    def test_run_rejects_off_spec(self, tmp_path):
+        assert trace_cli(["run", "--trace", "off",
+                          "--out", str(tmp_path / "x.json")]) == 2
+
+    def test_bad_spec_exits_2(self, tmp_path):
+        assert trace_cli(["run", "--trace", "bogus-category",
+                          "--out", str(tmp_path / "x.json")]) == 2
+
+    def test_validate_flags_broken_trace(self, tmp_path):
+        bad = tmp_path / "bad.trace.json"
+        bad.write_text(json.dumps({"traceEvents": [
+            {"ph": "q", "pid": 1, "tid": 1, "name": "x", "ts": 0}]}))
+        assert trace_cli(["validate", str(bad)]) == 1
+
+
+class TestFaultInstants:
+    def test_injected_faults_appear_in_trace(self):
+        from repro.faults.injector import FaultInjector
+
+        with runtime.tracing(TraceConfig(categories=CATEGORIES)):
+            system = System(SMALL)
+            injector = FaultInjector(system, seed=7)
+            addr = system.alloc(4096, align=4096)
+            injector.flip_bits(addr, bits=2)
+            [tracer] = runtime.take_tracers()
+        trace = chrome_trace(tracer, label="faults")
+        summary = summarize_trace(trace)
+        assert summary["by_name"].get("faults/bitflip") == 1

@@ -1,8 +1,10 @@
 """Unit tests for the statistics registry."""
 
+import json
 import math
 
-from repro.sim.stats import Counter, Distribution, StatGroup
+from repro.sim.stats import (DEFAULT_MAX_SAMPLES, Counter, Distribution,
+                             StatGroup)
 
 
 class TestCounter:
@@ -55,6 +57,107 @@ class TestDistribution:
         d.reset()
         assert d.count == 0
         assert d.min == math.inf
+
+    def test_samples_capped_by_reservoir(self):
+        d = Distribution("lat")
+        for v in range(DEFAULT_MAX_SAMPLES * 3):
+            d.record(v)
+        assert len(d.samples) == DEFAULT_MAX_SAMPLES
+        assert d.count == DEFAULT_MAX_SAMPLES * 3
+        # Streaming moments are exact regardless of the reservoir.
+        assert d.min == 0
+        assert d.max == DEFAULT_MAX_SAMPLES * 3 - 1
+        assert d.total == sum(range(DEFAULT_MAX_SAMPLES * 3))
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def run(name):
+            d = Distribution(name, max_samples=64)
+            for v in range(1000):
+                d.record(v)
+            return list(d.samples)
+
+        assert run("lat") == run("lat")
+        # Different stat names seed different reservoirs.
+        assert run("lat") != run("other")
+
+    def test_reservoir_quantiles_stay_plausible(self):
+        d = Distribution("lat", max_samples=256)
+        for v in range(10_000):
+            d.record(v)
+        # A uniform stream's reservoir median should land mid-range.
+        assert 2_000 < d.percentile(50) < 8_000
+
+    def test_small_max_samples_reset_reseeds(self):
+        d = Distribution("lat", max_samples=4)
+        for v in range(100):
+            d.record(v)
+        first = list(d.samples)
+        d.reset()
+        for v in range(100):
+            d.record(v)
+        assert list(d.samples) == first
+
+
+class TestFormula:
+    def test_value_evaluates_on_read(self):
+        g = StatGroup("g")
+        hits = g.counter("hits")
+        misses = g.counter("misses")
+        rate = g.formula("hit_rate", "hits fraction",
+                         lambda: hits.value / (hits.value + misses.value)
+                         if (hits.value + misses.value) else 0.0)
+        assert rate.value == 0.0
+        hits.inc(3)
+        misses.inc(1)
+        assert rate.value == 0.75
+
+    def test_report_includes_formulas(self):
+        g = StatGroup("g")
+        g.formula("ratio", "a ratio", lambda: 0.5)
+        assert "ratio" in g.report()
+
+
+class TestStatGroupSerialization:
+    def _tree(self):
+        root = StatGroup("system")
+        root.counter("ticks", "cycles simulated").inc(123)
+        l1 = root.group("l1")
+        l1.counter("hits", "lookups that hit").inc(7)
+        l1.counter("misses", "lookups that missed").inc(3)
+        l1.formula("hit_rate", "hits fraction", lambda: 0.7)
+        lat = root.group("mc").distribution("read_latency", "cycles")
+        for v in (5, 10, 15):
+            lat.record(v)
+        return root
+
+    def test_to_dict_json_round_trip(self):
+        root = self._tree()
+        encoded = json.dumps(root.to_dict(), sort_keys=True)
+        rebuilt = StatGroup.from_dict(json.loads(encoded))
+        assert rebuilt.get("l1.hits") == 7
+        assert rebuilt.flatten() == root.flatten()
+        d = rebuilt.children["mc"].distributions["read_latency"]
+        assert d.count == 3 and d.total == 30
+        assert d.min == 5 and d.max == 15 and d.mean == 10
+        assert d.samples == [5, 10, 15]
+        # Formulas come back frozen at their exported value.
+        assert rebuilt.children["l1"].formulas["hit_rate"].value == 0.7
+        # The round trip is stable: a second encode matches the first.
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == encoded
+
+    def test_to_dict_empty_distribution_encodes_null_extremes(self):
+        root = StatGroup("g")
+        root.distribution("lat")
+        entry = root.to_dict()["distributions"]["lat"]
+        assert entry["min"] is None and entry["max"] is None
+        rebuilt = StatGroup.from_dict(root.to_dict())
+        assert rebuilt.distributions["lat"].min == math.inf
+        assert rebuilt.distributions["lat"].max == -math.inf
+
+    def test_to_dict_without_samples(self):
+        root = self._tree()
+        snap = root.to_dict(include_samples=False)
+        assert "samples" not in snap["children"]["mc"]["distributions"]["read_latency"]
 
 
 class TestStatGroup:
