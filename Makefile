@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-tests analyze-diff simsan-smoke trace-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline
+.PHONY: test analyze analyze-tests analyze-diff simsan-smoke trace-smoke chaos-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline
 
 all: analyze test
 
@@ -52,6 +52,13 @@ trace-smoke:
 		--out results/traces/trace-smoke.trace.json \
 		--timeline-csv results/traces/trace-smoke.timeline.csv
 	$(PYTHON) -m repro.obs validate results/traces/trace-smoke.trace.json
+
+# Chaos drill: kill workers / sleep past deadlines / SIGKILL the
+# sweeping process, then assert checkpoint-resume merges bit-identical
+# and poison points land in the failure report (docs/RESILIENCE.md).
+chaos-smoke:
+	REPRO_JOBS=4 $(PYTHON) -m pytest tests/integration/test_chaos.py -x -q -p no:cacheprovider
+	$(PYTHON) -m repro.analysis src/repro/resilience
 
 sarif:
 	$(PYTHON) -m repro.analysis src/repro --format sarif --output mc2-analyze.sarif || true

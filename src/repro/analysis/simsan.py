@@ -44,7 +44,7 @@ from repro.common.errors import SanitizerError
 #: Module-name prefixes excluded from the global-mutation snapshot —
 #: must stay in sync with the static exemption in
 #: :data:`repro.analysis.rules.forksafety.INFRA_MODULES`.
-EXCLUDE_PREFIXES = ("repro.perf", "repro.analysis")
+EXCLUDE_PREFIXES = ("repro.perf", "repro.analysis", "repro.resilience")
 
 #: Fingerprints longer than this are truncated: a mutation almost
 #: always changes the head of the repr, and unbounded reprs of large

@@ -39,6 +39,31 @@ class LivelockError(SimulationError):
         self.post_mortem = post_mortem
 
 
+class DeadlineError(LivelockError):
+    """The simulation ran past its simulated-cycle deadline.
+
+    Raised by an attached :class:`~repro.faults.watchdog.Watchdog` when
+    ``Simulator.now`` exceeds the configured ``cycle_deadline``.  A
+    subclass of :class:`LivelockError` because it means the same thing
+    to a supervisor — the point will not finish within its budget — but
+    distinguishable in failure reports (kind ``sim-deadline``).
+    """
+
+
+class SweepError(ReproError, RuntimeError):
+    """A supervised sweep could not complete under the ``strict`` policy.
+
+    Raised by :func:`repro.perf.runner.sim_map` when a point was
+    quarantined for a cause that has no original exception to re-raise
+    (a worker crash or a wall-clock timeout).  ``report`` carries the
+    structured :class:`~repro.resilience.report.FailureReport`.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class SanitizerError(ReproError, RuntimeError):
     """The runtime sanitizer (``REPRO_SIMSAN=1``) detected a violation.
 

@@ -83,6 +83,16 @@ LINK_RETRY_CYCLES = 200           # CRC-detected link fault: retransmission
 WATCHDOG_CHECK_EVERY_EVENTS = 50_000  # watchdog progress-check granularity
 WATCHDOG_STALL_CHECKS = 3         # zero-progress windows before post-mortem
 
+# ------------------------------------------------ supervised sweeps (host)
+# Host-side orchestration budgets for repro.resilience: these bound the
+# *simulator process*, never simulated behaviour (host time stays outside
+# every simulated decision, per MC2001).
+SWEEP_POINT_TIMEOUT_QUICK_S = 300.0   # wall-clock deadline per sweep point
+SWEEP_POINT_TIMEOUT_FULL_S = 7200.0   # paper-sized REPRO_SCALE=full points
+SWEEP_MAX_ATTEMPTS = 3            # attempts before a point is quarantined
+SWEEP_BACKOFF_BASE_S = 0.25       # first retry delay (doubles per attempt)
+SWEEP_BACKOFF_CAP_S = 8.0         # exponential-backoff ceiling
+
 # ------------------------------------------------------------------- CPU
 ROB_ENTRIES = 224                 # Skylake-class reorder buffer
 LSQ_ENTRIES = 72                  # combined load/store queue budget

@@ -20,6 +20,17 @@ replaces that with early detection plus a post-mortem:
 Time that advances — however slowly — is *not* a livelock; bounded
 retries with backoff make progress in simulated time and never trip the
 watchdog.  That keeps false positives impossible by construction.
+
+A second, orthogonal budget is the **cycle deadline**: a simulation that
+keeps making time progress but runs far past its expected simulated
+length (a retry loop advancing one cycle at a time, a workload whose
+termination condition was corrupted by an injected fault) is just as
+dead to a sweep supervisor as a livelocked one.  Passing
+``cycle_deadline=N`` makes :meth:`observe` raise
+:class:`~repro.common.errors.DeadlineError` — with the same post-mortem
+— as soon as ``now`` passes ``N`` simulated cycles.  The supervisor in
+:mod:`repro.resilience` classifies that as a deterministic failure
+(kind ``sim-deadline``) and quarantines the point without retrying.
 """
 
 from __future__ import annotations
@@ -27,7 +38,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.common import params
-from repro.common.errors import ConfigError, LivelockError
+from repro.common.errors import ConfigError, DeadlineError, LivelockError
 
 SnapshotFn = Callable[[], Dict[str, object]]
 
@@ -38,14 +49,18 @@ class Watchdog:
     def __init__(self,
                  snapshot_fn: Optional[SnapshotFn] = None,
                  check_every: int = params.WATCHDOG_CHECK_EVERY_EVENTS,
-                 stall_checks: int = params.WATCHDOG_STALL_CHECKS):
+                 stall_checks: int = params.WATCHDOG_STALL_CHECKS,
+                 cycle_deadline: Optional[int] = None):
         if check_every <= 0:
             raise ConfigError("check_every must be positive")
         if stall_checks <= 0:
             raise ConfigError("stall_checks must be positive")
+        if cycle_deadline is not None and cycle_deadline <= 0:
+            raise ConfigError("cycle_deadline must be positive")
         self.snapshot_fn = snapshot_fn
         self.check_every = check_every
         self.stall_checks = stall_checks
+        self.cycle_deadline = cycle_deadline
         self._window_labels: Dict[str, int] = {}
         self._window_events = 0
         self._last_check_now: Optional[int] = None
@@ -59,6 +74,13 @@ class Watchdog:
         self._window_events += 1
         label = label or "<unlabelled>"
         self._window_labels[label] = self._window_labels.get(label, 0) + 1
+        if self.cycle_deadline is not None and now > self.cycle_deadline:
+            raise DeadlineError(
+                f"simulated-cycle deadline exceeded: cycle {now} > "
+                f"budget {self.cycle_deadline} "
+                f"({self.total_events} events fired)",
+                post_mortem=self.post_mortem("cycle deadline exceeded"),
+            )
         if self._window_events < self.check_every:
             return
 

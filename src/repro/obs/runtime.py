@@ -41,6 +41,11 @@ class _TraceRuntime:
     def __init__(self) -> None:
         self.config: Optional[TraceConfig] = None
         self.active: List[Tracer] = []
+        # Supervisor attempt spans (repro.resilience): host-time tuples
+        # (index, name, attempt, start_s, end_s, reason, cause),
+        # recorded in the parent only and drained per sweep.
+        self.spans: List[tuple] = []
+        self.spans_dropped = 0
 
     def __repr__(self) -> str:
         return f"_TraceRuntime(configured={self.config is not None})"
@@ -68,9 +73,11 @@ def configure_from_spec(spec: str, out_dir: Optional[str] = None) -> bool:
 
 
 def unconfigure() -> None:
-    """Clear the configuration and forget uncollected tracers."""
+    """Clear the configuration and forget uncollected tracers/spans."""
     _STATE.config = None
     _STATE.active.clear()
+    _STATE.spans.clear()
+    _STATE.spans_dropped = 0
 
 
 def is_configured() -> bool:
@@ -195,6 +202,84 @@ def export_point_traces(name: str, args: tuple, kwargs: dict) -> List[Path]:
         trace = chrome_trace(tracer, label=f"{name}.{digest}{suffix}")
         written.append(write_chrome_trace(trace, path))
     return written
+
+
+#: Cap on buffered supervisor spans; beyond it spans are counted as
+#: dropped rather than growing without bound (mirrors the tracer ring).
+_SPAN_CAP = 8192
+
+
+def record_attempt_span(index: int, name: str, attempt: int,
+                        start_s: float, end_s: float, reason: str,
+                        cause: Optional[str] = None) -> None:
+    """Buffer one supervisor point-attempt span (parent process only).
+
+    ``reason`` is one of :data:`repro.resilience.report.ATTEMPT_REASONS`
+    (``ok``/``timeout``/``crash``/``retried``/``quarantined``).
+    Timestamps are host seconds — supervision is wall-clock territory,
+    so these spans live on their own track and are exported to a
+    separate ``*.spans.json`` file, never mixed into the
+    cycle-stamped simulation traces.
+    """
+    if len(_STATE.spans) >= _SPAN_CAP:
+        _STATE.spans_dropped += 1
+        return
+    _STATE.spans.append((index, name, attempt, start_s, end_s, reason,
+                         cause))
+
+
+def take_attempt_spans() -> List[tuple]:
+    """Drain (and forget) the buffered supervisor attempt spans."""
+    taken = list(_STATE.spans)
+    _STATE.spans.clear()
+    _STATE.spans_dropped = 0
+    return taken
+
+
+def export_attempt_spans(sweep_id: str) -> Optional[Path]:
+    """Write buffered supervisor spans as a Chrome trace, then drain.
+
+    Only exports when tracing is configured (the spans ride the same
+    ``REPRO_TRACE`` opt-in); the file is
+    ``<trace dir>/supervisor.<sweep_id>.spans.json`` with one "X" event
+    per attempt (args: attempt number, end reason, failure cause).
+    Host timestamps make the bytes run-dependent by nature, hence the
+    distinct suffix — the byte-determinism contract covers only the
+    ``*.trace.json`` simulation exports.
+    """
+    from repro.obs.export import write_chrome_trace
+
+    dropped = _STATE.spans_dropped
+    spans = take_attempt_spans()
+    config = _STATE.config
+    if not spans or config is None:
+        return None
+    out_dir = Path(config.out_dir or DEFAULT_TRACE_DIR)
+    base = min(span[3] for span in spans)
+    events: List[dict] = [
+        {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+         "args": {"name": f"supervisor.{sweep_id}"}},
+        {"ph": "M", "pid": 2, "tid": 1, "name": "thread_name",
+         "args": {"name": "attempts"}},
+    ]
+    for index, name, attempt, start_s, end_s, reason, cause in spans:
+        args = {"index": index, "attempt": attempt, "reason": reason}
+        if cause:
+            args["cause"] = cause
+        events.append({
+            "ph": "X", "cat": "supervisor", "pid": 2, "tid": 1,
+            "name": name, "ts": max(0, int((start_s - base) * 1e6)),
+            "dur": max(0, int((end_s - start_s) * 1e6)), "args": args,
+        })
+    trace = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"tool": "repro.resilience", "clock": "host-us",
+                      "dropped_events": dropped,
+                      "categories": ["supervisor"]},
+    }
+    return write_chrome_trace(trace,
+                              out_dir / f"supervisor.{sweep_id}.spans.json")
 
 
 def traced(fn, name: str):

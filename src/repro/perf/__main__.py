@@ -9,7 +9,10 @@ Commands:
   (default 20%) against ``benchmarks/bench-baseline.json``;
 * ``baseline`` — rewrite ``benchmarks/bench-baseline.json`` from a
   fresh measurement (run on an idle machine);
-* ``cache``    — ``info`` or ``clear`` the persistent sim-result cache.
+* ``cache``    — ``info`` or ``clear`` the persistent sim-result cache;
+* ``resilience`` — inspect supervised-sweep state: ``journals`` lists
+  the per-sweep completion journals (with resume status), ``reports``
+  prints persisted failure reports, ``info`` summarizes both.
 
 The gate compares *ratios* (events/sec divided by a pure-Python
 calibration loop's ops/sec), so one baseline file serves laptops and CI
@@ -107,8 +110,50 @@ def _cmd_cache(args) -> int:
         print(f"removed {removed} cached results from {store.root}")
         return 0
     info = store.info()
-    for key in ("root", "entries", "bytes", "enabled"):
-        print(f"{key:8s} {info[key]}")
+    for key in ("root", "entries", "bytes", "enabled", "quarantined",
+                "stale_tmp_swept", "journals"):
+        print(f"{key:16s} {info[key]}")
+    return 0
+
+
+def _cmd_resilience(args) -> int:
+    from repro.resilience.report import SweepJournal, load_report
+
+    store = SimCache()
+    sweeps = store.sweeps_dir
+    journals = (sorted(sweeps.glob("*.journal.jsonl"))
+                if sweeps.exists() else [])
+    reports = (sorted(sweeps.glob("*.report.json"))
+               if sweeps.exists() else [])
+    if args.action in ("info", "journals"):
+        if not journals:
+            print(f"no sweep journals under {sweeps}")
+        for path in journals:
+            sweep_id = path.name.split(".")[0]
+            state = SweepJournal(sweeps, sweep_id).load()
+            status = "complete" if state["ended"] else "INTERRUPTED"
+            print(f"{sweep_id}  runs={state['runs']} "
+                  f"done={len(state['done_indices'])} "
+                  f"quarantined={len(state['quarantined'])}  {status}")
+    if args.action in ("info", "reports"):
+        if not reports:
+            print(f"no failure reports under {sweeps}")
+        for path in reports:
+            try:
+                payload = load_report(path)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"{path.name}: unreadable ({exc})")
+                continue
+            print(f"{path.name}: policy={payload.get('policy')} "
+                  f"completed={payload.get('completed')}/"
+                  f"{payload.get('total')} "
+                  f"quarantined={payload.get('quarantined')} "
+                  f"pool_breaks={payload.get('pool_breaks')}")
+            for failure in payload.get("failures", []):
+                print(f"  point[{failure.get('index')}] "
+                      f"{failure.get('name')}: {failure.get('kind')} "
+                      f"after {failure.get('attempts')} attempt(s) — "
+                      f"{failure.get('cause')}")
     return 0
 
 
@@ -144,9 +189,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache = sub.add_parser("cache", help="inspect/clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
 
+    res = sub.add_parser("resilience",
+                         help="inspect sweep journals and failure reports")
+    res.add_argument("action", choices=("info", "journals", "reports"),
+                     nargs="?", default="info")
+
     args = parser.parse_args(argv)
     handlers = {"micro": _cmd_micro, "gate": _cmd_gate,
-                "baseline": _cmd_baseline, "cache": _cmd_cache}
+                "baseline": _cmd_baseline, "cache": _cmd_cache,
+                "resilience": _cmd_resilience}
     return handlers[args.command](args)
 
 

@@ -50,6 +50,19 @@ def _sanitizer():
     return simsan if simsan.enabled() else None
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, OverflowError):
+        return False
+    except OSError:  # EPERM: someone else's live process
+        return True
+    return True
+
+
 def repo_root() -> pathlib.Path:
     """The repository root (``src/repro/perf/`` is three levels down)."""
     return pathlib.Path(__file__).resolve().parents[3]
@@ -132,12 +145,40 @@ class SimCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def sweeps_dir(self) -> pathlib.Path:
+        """Where sweep journals and failure reports live (repro.resilience)."""
+        return self.root / ".sweeps"
+
+    def _entry_files(self):
+        """Result files only — shard dirs are two hex chars, which keeps
+        ``.sweeps`` journals/reports out of entry counts."""
+        if not self.root.exists():
+            return
+        for path in self.root.rglob("*.json"):
+            if path.parent != self.root and len(path.parent.name) == 2:
+                yield path
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside so it is never re-read or re-parsed.
+
+        The rename is atomic and collision-free per key; losing the race
+        to a concurrent reader (file already moved) is fine.
+        """
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`MISS`.
 
-        A missing file is an ordinary miss; a file that exists but does
-        not parse into the expected shape is silently a miss too —
-        except under ``REPRO_SIMSAN``, where corruption is reported.
+        A missing file is an ordinary miss.  A file that exists but does
+        not parse into the expected shape is quarantined (renamed to
+        ``<key>.corrupt``) so every future run takes the cheap
+        missing-file path instead of re-reading and re-parsing the
+        corpse — and, under ``REPRO_SIMSAN``, the corruption is
+        reported instead of silently degraded.
         """
         path = self._path(key)
         try:
@@ -149,6 +190,7 @@ class SimCache:
             payload = None
         if not (isinstance(payload, dict)
                 and "fn" in payload and "value" in payload):
+            self._quarantine(path)
             san = _sanitizer()
             if san is not None:
                 san.check_payload(str(path), payload)
@@ -181,29 +223,84 @@ class SimCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(blob + "\n", encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(blob + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            # A failed write (disk full, signal mid-write) must not leak
+            # the temp file forever; after a successful rename the
+            # unlink is a no-op.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
         return True
 
+    def _sweep_stale_tmp(self) -> int:
+        """Remove ``*.tmp.<pid>`` droppings from writers that died.
+
+        A live ``put`` always cleans up after itself, so any temp file
+        whose pid suffix no longer names a running process is an
+        orphan from an earlier, killed run.  Unparsable suffixes are
+        treated as orphans too.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for tmp in self.root.rglob("*.tmp.*"):
+            suffix = tmp.name.rsplit(".", 1)[-1]
+            try:
+                alive = _pid_alive(int(suffix))
+            except ValueError:
+                alive = False
+            if not alive:
+                try:
+                    tmp.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
     def clear(self) -> int:
-        """Delete every cached result; returns the number removed."""
+        """Delete every cached result; returns the number removed.
+
+        Also sweeps quarantined ``*.corrupt`` entries, stale temp files,
+        and the ``.sweeps`` journals/reports.
+        """
         removed = 0
         if self.root.exists():
-            for path in self.root.rglob("*.json"):
-                path.unlink()
-                removed += 1
+            for pattern in ("*.json", "*.corrupt", "*.tmp.*"):
+                for path in self.root.rglob(pattern):
+                    if path.is_file():
+                        path.unlink()
+                        removed += 1
+            if self.sweeps_dir.exists():
+                for path in sorted(self.sweeps_dir.glob("*")):
+                    if path.is_file():
+                        path.unlink()
             for child in sorted(self.root.iterdir()):
                 if child.is_dir() and not any(child.iterdir()):
                     child.rmdir()
         return removed
 
     def info(self) -> Dict[str, Any]:
-        """Entry count and total size, for ``python -m repro.perf cache``."""
-        entries = ([p for p in self.root.rglob("*.json")]
+        """Entry count and health, for ``python -m repro.perf cache``.
+
+        Reading the stats doubles as janitor duty: stale temp files
+        from dead writers are swept here (and in :meth:`clear`).
+        """
+        swept = self._sweep_stale_tmp()
+        entries = list(self._entry_files())
+        corrupt = ([p for p in self.root.rglob("*.corrupt")]
                    if self.root.exists() else [])
+        journals = ([p for p in self.sweeps_dir.glob("*.journal.jsonl")]
+                    if self.sweeps_dir.exists() else [])
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
             "enabled": cache_enabled(),
+            "quarantined": len(corrupt),
+            "stale_tmp_swept": swept,
+            "journals": len(journals),
         }

@@ -1,0 +1,215 @@
+"""Structured failure reporting and the per-sweep completion journal.
+
+A supervised sweep (:mod:`repro.resilience.supervisor`) must account for
+every point it was given: a point either produced a result, or it is
+named in a :class:`FailureReport` entry with its attempt count and the
+cause of its last attempt.  Silent holes are forbidden — under the
+``strict`` policy a quarantined point aborts the sweep, and under
+``partial`` its result slot holds an explicit :class:`Hole` carrying the
+same information as the report entry.
+
+The :class:`SweepJournal` is the crash-safe progress record: one
+append-only JSONL file per sweep (identified by a content hash of the
+point keys) under ``<cache root>/.sweeps/``.  Every completed fresh
+result appends a line *as it finishes*, so after a Ctrl-C, an OOM kill,
+or a machine reboot the journal shows exactly how far the sweep got and
+which points were quarantined.  Resume itself rides on the result cache
+(completed points come back as hits); the journal is what makes the
+interruption observable and the failure report durable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Failure kinds a supervised attempt can end with.  ``timeout`` is the
+#: wall-clock deadline, ``crash`` a worker death (pool break),
+#: ``sim-deadline``/``livelock`` the watchdog's simulated-time budgets,
+#: and ``error`` any other in-worker exception.
+FAILURE_KINDS = ("timeout", "crash", "sim-deadline", "livelock", "error")
+
+#: Span end reasons recorded per attempt (see repro.obs.runtime).
+ATTEMPT_REASONS = ("ok", "timeout", "crash", "retried", "quarantined")
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One quarantined sweep point: who, how often, and why."""
+
+    index: int                 # position in the sweep's input order
+    name: str                  # fully qualified point function
+    kind: str                  # one of FAILURE_KINDS
+    cause: str                 # human-readable last-attempt cause
+    attempts: int              # attempts consumed before quarantine
+    key: Optional[str] = None  # simcache key, when the point was keyable
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class Hole:
+    """Explicit placeholder for a failed point under ``policy=partial``.
+
+    Equality-comparable and not JSON-encodable, so a hole can never be
+    silently persisted to the result cache or mistaken for data.
+    """
+
+    index: int
+    name: str
+    kind: str
+    cause: str
+    attempts: int
+
+
+def is_hole(value: Any) -> bool:
+    """True when a ``partial``-policy result slot is a failure hole."""
+    return isinstance(value, Hole)
+
+
+@dataclass
+class FailureReport:
+    """Everything that went wrong in one supervised sweep."""
+
+    sweep_id: str
+    policy: str
+    scale: str
+    total: int
+    completed: int = 0
+    pool_breaks: int = 0
+    failures: List[PointFailure] = field(default_factory=list)
+
+    def add(self, failure: PointFailure) -> None:
+        self.failures.append(failure)
+
+    @property
+    def quarantined(self) -> int:
+        return len(self.failures)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep_id,
+            "policy": self.policy,
+            "scale": self.scale,
+            "total": self.total,
+            "completed": self.completed,
+            "pool_breaks": self.pool_breaks,
+            "quarantined": self.quarantined,
+            "failures": [f.to_dict() for f in
+                         sorted(self.failures, key=lambda f: f.index)],
+        }
+
+    def summary(self) -> str:
+        """One paragraph naming each poison point, for exception text."""
+        lines = [f"sweep {self.sweep_id}: {self.completed}/{self.total} "
+                 f"completed, {self.quarantined} quarantined, "
+                 f"{self.pool_breaks} pool break(s)"]
+        for failure in sorted(self.failures, key=lambda f: f.index):
+            lines.append(f"  point[{failure.index}] {failure.name}: "
+                         f"{failure.kind} after {failure.attempts} "
+                         f"attempt(s) — {failure.cause}")
+        return "\n".join(lines)
+
+    def write(self, directory: pathlib.Path) -> pathlib.Path:
+        """Persist as ``<sweep_id>.report.json``; returns the path."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.sweep_id}.report.json"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(self.to_dict(), indent=2,
+                                      sort_keys=True) + "\n",
+                           encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return path
+
+
+def load_report(path: pathlib.Path) -> Dict[str, Any]:
+    """Read a persisted failure report (raises on a missing file)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class SweepJournal:
+    """Append-only JSONL record of one sweep's completions.
+
+    Lines are flushed and fsynced as written, so the journal survives a
+    SIGKILL of the sweep process; a torn final line (the kill landed
+    mid-write) is tolerated and ignored on load.
+    """
+
+    def __init__(self, directory: pathlib.Path, sweep_id: str):
+        self.sweep_id = sweep_id
+        self.path = pathlib.Path(directory) / f"{sweep_id}.journal.jsonl"
+        self._handle = None
+
+    # ------------------------------------------------------------- load
+    def load(self) -> Dict[str, Any]:
+        """Prior progress: done keys/indices, quarantines, run count."""
+        state: Dict[str, Any] = {"runs": 0, "done_indices": set(),
+                                 "done_keys": set(), "quarantined": [],
+                                 "ended": False}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return state
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a killed writer
+            event = record.get("event")
+            if event == "start":
+                state["runs"] += 1
+                state["ended"] = False
+            elif event == "done":
+                state["done_indices"].add(record.get("index"))
+                if record.get("key"):
+                    state["done_keys"].add(record["key"])
+            elif event == "quarantine":
+                state["quarantined"].append(record)
+            elif event == "end":
+                state["ended"] = True
+        return state
+
+    # ----------------------------------------------------------- append
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def start(self, total: int, cached: int, fresh: int) -> None:
+        self._append({"event": "start", "sweep": self.sweep_id,
+                      "total": total, "cached": cached, "fresh": fresh})
+
+    def record_done(self, index: int, name: str,
+                    key: Optional[str]) -> None:
+        self._append({"event": "done", "index": index, "name": name,
+                      "key": key})
+
+    def record_quarantine(self, failure: PointFailure) -> None:
+        record = failure.to_dict()
+        record["event"] = "quarantine"
+        self._append(record)
+
+    def record_end(self, completed: int, quarantined: int) -> None:
+        self._append({"event": "end", "completed": completed,
+                      "quarantined": quarantined})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -268,10 +268,19 @@ class System:
         self,
         check_every: int = params.WATCHDOG_CHECK_EVERY_EVENTS,
         stall_checks: int = params.WATCHDOG_STALL_CHECKS,
+        cycle_deadline: Optional[int] = None,
     ) -> Watchdog:
-        """Arm the simulator's livelock watchdog with System post-mortems."""
+        """Arm the simulator's livelock watchdog with System post-mortems.
+
+        ``cycle_deadline`` additionally bounds total simulated time: a
+        run whose clock passes it raises
+        :class:`~repro.common.errors.DeadlineError` (see
+        :func:`repro.resilience.deadline.cycle_budget` for the
+        ``REPRO_CYCLE_DEADLINE``-derived value).
+        """
         watchdog = Watchdog(snapshot_fn=self.snapshot,
                             check_every=check_every,
-                            stall_checks=stall_checks)
+                            stall_checks=stall_checks,
+                            cycle_deadline=cycle_deadline)
         self.sim.watchdog = watchdog
         return watchdog

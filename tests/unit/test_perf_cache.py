@@ -102,6 +102,111 @@ class TestSimCache:
         assert data["fn"] == "repro.workloads.x"
 
 
+class TestQuarantine:
+    def test_corrupt_entry_is_renamed_aside(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "56" + "0" * 62
+        store.put(key, "f", {"cycles": 1})
+        store._path(key).write_text("{not json", encoding="utf-8")
+        assert store.get(key) is MISS
+        assert not store._path(key).exists()
+        assert store._path(key).with_suffix(".corrupt").exists()
+        # The second read takes the cheap missing-file path.
+        assert store.get(key) is MISS
+
+    def test_wrong_shape_entry_is_quarantined(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "78" + "0" * 62
+        path = store._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"unexpected": True}), encoding="utf-8")
+        assert store.get(key) is MISS
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_info_counts_quarantined(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "9a" + "0" * 62
+        store.put(key, "f", 1)
+        store._path(key).write_text("junk", encoding="utf-8")
+        store.get(key)
+        info = store.info()
+        assert info["quarantined"] == 1
+        assert info["entries"] == 0
+
+    def test_clear_removes_quarantined(self, tmp_path):
+        store = SimCache(tmp_path)
+        key = "bc" + "0" * 62
+        store.put(key, "f", 1)
+        store._path(key).write_text("junk", encoding="utf-8")
+        store.get(key)
+        store.clear()
+        assert store.info()["quarantined"] == 0
+
+
+class TestStaleTmpSweep:
+    def test_dead_writer_droppings_are_swept(self, tmp_path):
+        store = SimCache(tmp_path)
+        shard = tmp_path / "ab"
+        shard.mkdir()
+        # Pid 2**22+1 exceeds any real pid_max; never a live process.
+        stale = shard / ("ab" + "0" * 62 + ".tmp.4194305")
+        stale.write_text("torn", encoding="utf-8")
+        unparsable = shard / ("ab" + "0" * 62 + ".tmp.bogus")
+        unparsable.write_text("torn", encoding="utf-8")
+        info = store.info()
+        assert info["stale_tmp_swept"] == 2
+        assert not stale.exists() and not unparsable.exists()
+
+    def test_live_writer_tmp_is_kept(self, tmp_path):
+        import os
+        store = SimCache(tmp_path)
+        shard = tmp_path / "cd"
+        shard.mkdir()
+        mine = shard / ("cd" + "0" * 62 + f".tmp.{os.getpid()}")
+        mine.write_text("in progress", encoding="utf-8")
+        assert store.info()["stale_tmp_swept"] == 0
+        assert mine.exists()
+
+    def test_failed_put_leaves_no_tmp(self, tmp_path, monkeypatch):
+        import pathlib
+        store = SimCache(tmp_path)
+        key = "de" + "0" * 62
+        original = pathlib.Path.write_text
+
+        def exploding_write(self, *args, **kwargs):
+            original(self, *args, **kwargs)  # the file exists on disk...
+            raise OSError("disk full")       # ...but the write "failed"
+
+        monkeypatch.setattr(pathlib.Path, "write_text", exploding_write)
+        with pytest.raises(OSError):
+            store.put(key, "f", {"cycles": 1})
+        monkeypatch.undo()
+        assert not list(tmp_path.rglob("*.tmp.*"))
+        assert store.get(key) is MISS
+
+
+class TestSweepsDir:
+    def test_journals_excluded_from_entry_count(self, tmp_path):
+        store = SimCache(tmp_path)
+        store.put("e0" + "0" * 62, "f", 1)
+        store.sweeps_dir.mkdir(parents=True)
+        (store.sweeps_dir / "abcd.journal.jsonl").write_text(
+            "{}\n", encoding="utf-8")
+        (store.sweeps_dir / "abcd.report.json").write_text(
+            "{}\n", encoding="utf-8")
+        info = store.info()
+        assert info["entries"] == 1
+        assert info["journals"] == 1
+
+    def test_clear_removes_sweep_state(self, tmp_path):
+        store = SimCache(tmp_path)
+        store.sweeps_dir.mkdir(parents=True)
+        (store.sweeps_dir / "abcd.journal.jsonl").write_text(
+            "{}\n", encoding="utf-8")
+        store.clear()
+        assert store.info()["journals"] == 0
+
+
 class TestEnableSwitch:
     def test_simcache_off_disables(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIMCACHE", "off")

@@ -2,8 +2,13 @@
 
 import os
 
+import pytest
+
+from repro.common.errors import ConfigError
 from repro.perf.cache import SimCache
-from repro.perf.runner import SimPoint, jobs_from_env, sim_map
+from repro.perf.runner import (SimPoint, jobs_from_env, policy_from_env,
+                               sim_map)
+from repro.resilience.report import SweepJournal, is_hole
 
 # Points must be module-level so they pickle into fork workers.
 
@@ -24,6 +29,12 @@ def record_env(_i):
 
 def unkeyable_arg(obj):  # ``obj`` defeats canonicalization
     return 99
+
+
+def fail_at(x, threshold):
+    if x >= threshold:
+        raise ValueError(f"point {x} is poison")
+    return x
 
 
 class TestSimMap:
@@ -97,3 +108,98 @@ class TestSimMapCaching:
         sim_map([SimPoint(square, (1,))], jobs=1, store=store,
                 scale="full")
         assert store.info()["entries"] == 2
+
+
+class TestSweepPolicies:
+    def test_policy_env_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_POLICY", raising=False)
+        assert policy_from_env() == "strict"
+        monkeypatch.setenv("REPRO_SWEEP_POLICY", "partial")
+        assert policy_from_env() == "partial"
+        monkeypatch.setenv("REPRO_SWEEP_POLICY", "bogus")
+        assert policy_from_env() == "strict"
+
+    def test_invalid_policy_argument_rejected(self):
+        with pytest.raises(ConfigError):
+            sim_map([], policy="yolo")
+
+    def test_strict_serial_raises_the_original_exception(self, tmp_path):
+        store = SimCache(tmp_path)
+        points = [SimPoint(fail_at, (i, 2)) for i in range(4)]
+        with pytest.raises(ValueError, match="point 2 is poison"):
+            sim_map(points, jobs=1, store=store)
+
+    def test_serial_partial_progress_persists(self, tmp_path):
+        # Satellite: completed points are cached as they finish, so the
+        # failed sweep's survivors are hits on the next run.
+        store = SimCache(tmp_path)
+        points = [SimPoint(fail_at, (i, 2)) for i in range(4)]
+        with pytest.raises(ValueError):
+            sim_map(points, jobs=1, store=store)
+        assert store.info()["entries"] == 2
+
+    def test_partial_policy_returns_explicit_holes(self, tmp_path):
+        store = SimCache(tmp_path)
+        points = [SimPoint(fail_at, (i, 2)) for i in range(4)]
+        results = sim_map(points, jobs=1, store=store, policy="partial")
+        assert results[0] == 0 and results[1] == 1
+        assert is_hole(results[2]) and is_hole(results[3])
+        assert results[2].kind == "error"
+        assert "poison" in results[2].cause
+        assert store.info()["entries"] == 2  # holes are never cached
+
+    def test_strict_failure_writes_report_and_journal(self, tmp_path):
+        store = SimCache(tmp_path)
+        points = [SimPoint(fail_at, (i, 1)) for i in range(3)]
+        with pytest.raises(ValueError):
+            sim_map(points, jobs=1, store=store)
+        [report_path] = list(store.sweeps_dir.glob("*.report.json"))
+        from repro.resilience.report import load_report
+        payload = load_report(report_path)
+        assert payload["policy"] == "strict"
+        assert payload["failures"][0]["index"] == 1
+        [journal_path] = list(store.sweeps_dir.glob("*.journal.jsonl"))
+        sweep_id = journal_path.name.split(".")[0]
+        state = SweepJournal(store.sweeps_dir, sweep_id).load()
+        assert state["done_indices"] == {0}
+        assert len(state["quarantined"]) == 1
+
+
+class TestSweepJournalWiring:
+    def test_clean_sweep_journal_is_ended(self, tmp_path):
+        store = SimCache(tmp_path)
+        points = [SimPoint(square, (i,)) for i in range(3)]
+        sim_map(points, jobs=1, store=store)
+        [journal_path] = list(store.sweeps_dir.glob("*.journal.jsonl"))
+        sweep_id = journal_path.name.split(".")[0]
+        state = SweepJournal(store.sweeps_dir, sweep_id).load()
+        assert state["ended"]
+        assert state["done_indices"] == {0, 1, 2}
+
+    def test_warm_sweep_touches_no_journal(self, tmp_path):
+        store = SimCache(tmp_path)
+        points = [SimPoint(square, (i,)) for i in range(3)]
+        sim_map(points, jobs=1, store=store)
+        [journal_path] = list(store.sweeps_dir.glob("*.journal.jsonl"))
+        before = journal_path.read_bytes()
+        sim_map(points, jobs=1, store=store)  # all hits: no fresh work
+        assert journal_path.read_bytes() == before
+
+    def test_resume_note_on_interrupted_journal(self, tmp_path, capsys):
+        store = SimCache(tmp_path)
+        points = [SimPoint(square, (i,)) for i in range(3)]
+        sim_map(points, jobs=1, store=store)
+        [journal_path] = list(store.sweeps_dir.glob("*.journal.jsonl"))
+        # Strip the end record, as if the first run was killed mid-sweep,
+        # and drop the cached entries so the next run has fresh work.
+        lines = journal_path.read_text(encoding="utf-8").splitlines(
+            keepends=True)
+        journal_path.write_text(
+            "".join(line for line in lines if '"event": "end"' not in line),
+            encoding="utf-8")
+        for entry in list(store._entry_files()):
+            entry.unlink()
+        capsys.readouterr()
+        results = sim_map(points, jobs=1, store=store)
+        assert [r["x"] for r in results] == [0, 1, 2]
+        assert "resuming interrupted sweep" in capsys.readouterr().err
