@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-tests analyze-diff simsan-smoke trace-smoke chaos-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline
+.PHONY: test analyze analyze-tests analyze-diff simsan-smoke tie-smoke trace-smoke chaos-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline sharding-report
 
 all: analyze test
 
@@ -33,9 +33,10 @@ analyze:
 	$(PYTHON) -m repro.analysis src/repro
 
 # Fork-safety / cache-soundness / stale-noqa families only; the planted
-# sanitizer fixtures are excluded because they violate them on purpose.
+# sanitizer and race-order fixtures are excluded because they violate
+# the rules on purpose.
 analyze-tests:
-	$(PYTHON) -m repro.analysis tests benchmarks --select MC2401,MC2402,MC2403,MC2404,MC2501,MC2502,MC2503,MC2901 --exclude tests/unit/simsan_plants.py
+	$(PYTHON) -m repro.analysis tests benchmarks --select MC2401,MC2402,MC2403,MC2404,MC2501,MC2502,MC2503,MC2901 --exclude tests/unit/simsan_plants.py --exclude tests/unit/raceorder_plants.py
 
 # Exit non-zero only on findings not in analysis-baseline.json.
 analyze-diff:
@@ -44,6 +45,18 @@ analyze-diff:
 # One real sweep under the runtime sanitizer (docs/ANALYSIS.md).
 simsan-smoke:
 	REPRO_SIMSAN=1 REPRO_JOBS=2 REPRO_SIMCACHE=off $(PYTHON) -m pytest benchmarks/test_fig12_seq_access.py -x -q -p no:cacheprovider
+
+# One real sweep under the tie-order perturbation sanitizer: every
+# point runs twice (fifo vs lifo equal-cycle dispatch) and the full
+# stat trees must match bit for bit (docs/ANALYSIS.md).
+tie-smoke:
+	REPRO_TIE_ORDER=paired REPRO_JOBS=2 REPRO_SIMCACHE=off $(PYTHON) -m pytest benchmarks/test_fig21_bpq_sweep.py -x -q -p no:cacheprovider
+
+# Shard-locality report over the whole tree: console summary plus the
+# sharding-report.json CI artifact (docs/ANALYSIS.md).
+sharding-report:
+	$(PYTHON) -m repro.analysis src/repro --sharding-report
+	$(PYTHON) -m repro.analysis src/repro --sharding-report --format json --output sharding-report.json
 
 # One traced micro workload end to end: export, schema-validate, and
 # summarize a Chrome trace (docs/OBSERVABILITY.md).

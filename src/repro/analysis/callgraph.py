@@ -63,6 +63,37 @@ class CallSite:
 
 
 @dataclass
+class ScheduleSite:
+    """One ``sim.schedule`` / ``sim.schedule_at`` call.
+
+    The race rules (MC26xx) reason about which callbacks can fire at
+    the same cycle and in which engine phase, so the site records the
+    statically-recoverable scheduling shape: how far in the future the
+    event lands (``delay_kind``), the dispatch ``phase`` (``None`` when
+    the phase expression is not a constant), and the *handler* the
+    event will invoke, resolved through the common callback idioms —
+    ``self._meth`` bound methods, local nested ``def`` names, and
+    ``lambda: obj.meth(...)`` trampolines.
+    """
+
+    node: ast.Call
+    method: str                # "schedule" | "schedule_at"
+    delay_kind: str            # "zero" | "const:<n>" | "dynamic"
+    phase: Optional[int]       # constant phase, or None when dynamic
+    handler: str               # bare handler name ("" when unresolvable)
+    handler_kind: str          # "method" | "local" | "lambda-method" | "lambda" | "unknown"
+    label: str = ""
+
+
+#: Attribute-write kinds recorded in ``FunctionNode.attr_writes``.
+ATTR_ASSIGN = "assign"         # self.x = ...
+ATTR_AUGADD = "augadd"         # self.x += ... (commutative-looking RMW)
+ATTR_AUGOTHER = "augother"     # self.x -= / *= / ... (other RMW)
+ATTR_MUTATE = "mutate"         # self.x.append(...) etc.
+ATTR_SUBSCRIPT = "subscript"   # self.x[k] = ...
+
+
+@dataclass
 class FunctionNode:
     """One function or method plus the syntactic facts rules consume."""
 
@@ -80,6 +111,19 @@ class FunctionNode:
     env_reads: List[ast.AST] = field(default_factory=list)
     rng_calls: List[ast.AST] = field(default_factory=list)
     open_calls: List[ast.AST] = field(default_factory=list)
+
+    # Instance-state facts for the same-cycle race rules (MC26xx):
+    # accesses through the literal ``self`` receiver, keyed by attribute
+    # name.  Writes carry an access kind (ATTR_* above).
+    attr_writes: Dict[str, List[tuple]] = field(default_factory=dict)
+    attr_reads: Dict[str, List[ast.AST]] = field(default_factory=dict)
+    # Event-scheduling sites inside this function.
+    schedule_sites: List[ScheduleSite] = field(default_factory=list)
+    # ``d[... sim.now ...] = v`` stores (MC2602 order-escape rule).
+    now_key_stores: List[ast.AST] = field(default_factory=list)
+    # ``<stat>.value`` read-modify-writes outside the stats module
+    # (MC2603); each entry is ``(node, dotted_target)``.
+    stat_value_rmw: List[tuple] = field(default_factory=list)
 
     @property
     def is_nested(self) -> bool:
@@ -126,7 +170,7 @@ def module_mutable_globals(module: Module) -> Set[str]:
 #: Method names that mutate their receiver in place.
 _MUTATOR_METHODS = {
     "append", "extend", "insert", "add", "update", "setdefault", "pop",
-    "popitem", "remove", "discard", "clear", "sort", "reverse",
+    "popitem", "popleft", "remove", "discard", "clear", "sort", "reverse",
     "appendleft", "extendleft",
 }
 
@@ -155,6 +199,78 @@ def _dotted(node: ast.AST) -> str:
     else:
         parts.append("?")
     return ".".join(reversed(parts))
+
+
+def _contains_now(node: ast.AST) -> bool:
+    """True when the subtree reads a ``.now`` attribute (``sim.now``)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "now" \
+                and isinstance(sub.ctx, ast.Load):
+            return True
+    return False
+
+
+def _resolve_handler(arg: ast.AST) -> tuple:
+    """``(bare name, kind)`` for a schedule-call callback argument."""
+    if isinstance(arg, ast.Attribute):
+        return arg.attr, "method"
+    if isinstance(arg, ast.Name):
+        return arg.id, "local"
+    if isinstance(arg, ast.Lambda):
+        # The dominant trampoline shape: ``lambda: obj.meth(...)`` —
+        # resolve to the innermost called method so the race rules see
+        # through the closure.
+        for sub in ast.walk(arg.body):
+            if isinstance(sub, ast.Call):
+                if isinstance(sub.func, ast.Attribute):
+                    return sub.func.attr, "lambda-method"
+                if isinstance(sub.func, ast.Name):
+                    return sub.func.id, "lambda-method"
+        return "<lambda>", "lambda"
+    return "", "unknown"
+
+
+def _schedule_site(node: ast.Call, bare: str, dotted: str,
+                   ) -> Optional[ScheduleSite]:
+    """Build a :class:`ScheduleSite` when ``node`` schedules an event.
+
+    Recognizes ``<recv>.sim.schedule(...)`` / ``sim.schedule(...)`` and
+    the ``schedule_at`` variant; other methods that happen to be named
+    ``schedule`` (none in this codebase) would need a ``sim`` receiver
+    to match, keeping the extraction precise.
+    """
+    if bare not in ("schedule", "schedule_at"):
+        return None
+    parts = dotted.split(".")
+    if len(parts) < 2 or parts[-2] != "sim":
+        return None
+    if not node.args:
+        return None
+    when = node.args[0]
+    if bare == "schedule" and isinstance(when, ast.Constant) \
+            and isinstance(when.value, int):
+        delay_kind = "zero" if when.value == 0 else f"const:{when.value}"
+    else:
+        # schedule_at targets an arbitrary cycle; without value tracking
+        # it may land on the current one, so it is "dynamic" like any
+        # computed delay.
+        delay_kind = "dynamic"
+    handler, handler_kind = ("", "unknown")
+    if len(node.args) > 1:
+        handler, handler_kind = _resolve_handler(node.args[1])
+    phase: Optional[int] = 0
+    label = ""
+    for kw in node.keywords:
+        if kw.arg == "phase":
+            phase = (kw.value.value
+                     if isinstance(kw.value, ast.Constant)
+                     and isinstance(kw.value.value, int) else None)
+        elif kw.arg == "label" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, str):
+            label = kw.value.value
+    return ScheduleSite(node=node, method=bare, delay_kind=delay_kind,
+                        phase=phase, handler=handler,
+                        handler_kind=handler_kind, label=label)
 
 
 def _collect_facts(fn: FunctionNode, imports: Dict[str, str],
@@ -213,6 +329,17 @@ def _collect_facts(fn: FunctionNode, imports: Dict[str, str],
             if bare:
                 fn.calls.append(CallSite(node=node, bare=bare,
                                          dotted=dotted, is_method=is_method))
+                site = _schedule_site(node, bare, dotted)
+                if site is not None:
+                    fn.schedule_sites.append(site)
+            # In-place mutation of instance state: self.x.append(...).
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                    and isinstance(func.value, ast.Attribute)
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "self"):
+                fn.attr_writes.setdefault(func.value.attr, []).append(
+                    (node, ATTR_MUTATE))
             # open() on a fn/cached path.
             if isinstance(func, ast.Name) and func.id == "open" \
                     and "open" not in shadowed:
@@ -239,9 +366,41 @@ def _collect_facts(fn: FunctionNode, imports: Dict[str, str],
                 fn.rng_calls.append(node)
         if _is_env_read(node):
             fn.env_reads.append(node)
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and isinstance(node.ctx, ast.Load)):
+            fn.attr_reads.setdefault(node.attr, []).append(node)
         if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
             targets = (node.targets if isinstance(node, ast.Assign)
                        else [node.target])
+            if isinstance(node, ast.AugAssign):
+                aug_kind = (ATTR_AUGADD if isinstance(node.op, ast.Add)
+                            else ATTR_AUGOTHER)
+            else:
+                aug_kind = ATTR_ASSIGN
+            for target in targets:
+                # Instance-state writes through the literal ``self``.
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    fn.attr_writes.setdefault(target.attr, []).append(
+                        (node, aug_kind))
+                elif (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and isinstance(target.value.value, ast.Name)
+                        and target.value.value.id == "self"):
+                    fn.attr_writes.setdefault(
+                        target.value.attr, []).append((node, ATTR_SUBSCRIPT))
+                # ``<stat>.value`` read-modify-write (MC2603 fact).
+                if (isinstance(node, ast.AugAssign)
+                        and isinstance(target, ast.Attribute)
+                        and target.attr == "value"):
+                    fn.stat_value_rmw.append((node, _dotted(target)))
+                # ``d[... sim.now ...] = v`` (MC2602 fact).
+                if (isinstance(target, ast.Subscript)
+                        and _contains_now(target.slice)):
+                    fn.now_key_stores.append(node)
             for target in targets:
                 # Rebinding a declared-global name.
                 if (isinstance(target, ast.Name)
@@ -310,6 +469,8 @@ class CallGraph:
         self.classes: Dict[str, List[FunctionNode]] = {}
         #: class bare name -> class qualnames (for Cls() constructor edges)
         self.class_names: Dict[str, List[str]] = {}
+        #: class qualname -> base-class bare names (for role inheritance)
+        self.class_bases: Dict[str, List[str]] = {}
         self.imports: Dict[str, Dict[str, str]] = {}   # module path -> import map
         self.mutable_globals: Dict[str, Set[str]] = {}  # module path -> names
 
@@ -357,6 +518,11 @@ class CallGraph:
                     class_qual = f"{prefix}.{node.name}"
                     self.class_names.setdefault(node.name, []).append(
                         class_qual)
+                    self.class_bases[class_qual] = [
+                        base.id if isinstance(base, ast.Name)
+                        else base.attr if isinstance(base, ast.Attribute)
+                        else "?"
+                        for base in node.bases]
                     walk(node.body, class_qual, node.name, parent_fn)
 
         walk(module.tree.body, module.package, "", "")
@@ -409,6 +575,35 @@ class CallGraph:
                 if init is not None:
                     return [init]
         return list(self.by_name.get(site.bare, ()))
+
+    def resolve_handler(self, scheduler: FunctionNode,
+                        site: ScheduleSite) -> List[FunctionNode]:
+        """Functions a schedule site's callback may invoke.
+
+        Same-class methods win (``self._meth`` and the overwhelmingly
+        common ``lambda: self._meth(...)``); nested local defs resolve
+        to their synthetic node under the scheduling function; anything
+        else falls back to bare-name matching — the same sound
+        over-approximation :meth:`resolve_call` uses.
+        """
+        if not site.handler or site.handler == "<lambda>":
+            return []
+        if site.handler_kind == "local":
+            # Nested def: its qualname hangs off the enclosing function.
+            for owner in (scheduler.qualname, scheduler.parent):
+                if not owner:
+                    continue
+                target = self.functions.get(f"{owner}.{site.handler}")
+                if target is not None:
+                    return [target]
+            return [fn for fn in self.by_name.get(site.handler, ())
+                    if not fn.class_name]
+        if scheduler.class_name:
+            class_qual = scheduler.qualname.rsplit(".", 1)[0]
+            target = self.functions.get(f"{class_qual}.{site.handler}")
+            if target is not None:
+                return [target]
+        return list(self.by_name.get(site.handler, ()))
 
     # -- queries -----------------------------------------------------------
     def reachable(self, roots: Iterable[FunctionNode],
@@ -483,6 +678,7 @@ class ProjectContext:
         self._graph: Optional[CallGraph] = None
         self._workers: Optional[Dict[str, List[ast.Call]]] = None
         self._reached: Optional[Dict[str, List[str]]] = None
+        self._handlers: Optional[Dict[str, List[tuple]]] = None
 
     @property
     def graph(self) -> CallGraph:
@@ -506,6 +702,25 @@ class ProjectContext:
                      if q in self.graph.functions]
             self._reached = self.graph.reachable(roots)
         return self._reached
+
+    @property
+    def handlers(self) -> Dict[str, List[tuple]]:
+        """Event handlers: handler qualname -> [(scheduler, site)].
+
+        A *handler* is any function some schedule site's callback
+        resolves to — the set of code that the engine may dispatch at
+        an arbitrary tie-break position.  The MC26xx race rules pair
+        handlers of one class against each other through this map.
+        """
+        if self._handlers is None:
+            out: Dict[str, List[tuple]] = {}
+            for fn in self.graph.functions.values():
+                for site in fn.schedule_sites:
+                    for target in self.graph.resolve_handler(fn, site):
+                        out.setdefault(target.qualname, []).append(
+                            (fn, site))
+            self._handlers = out
+        return self._handlers
 
     def route(self, qualname: str) -> str:
         """Human-readable worker path, e.g. ``sweep -> run -> helper``."""

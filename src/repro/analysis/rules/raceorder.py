@@ -1,0 +1,394 @@
+"""Schedule-order independence rules (MC26xx).
+
+The engine dispatches equal-cycle events in an order that is explicitly
+*not* part of the simulator's semantics: the tie-break hook
+(:func:`repro.sim.engine.set_default_tie_break`) may permute it freely
+within a phase, and the ``REPRO_TIE_ORDER`` sanitizer does exactly that
+in CI.  Code is therefore only correct when no observable result
+depends on which of two same-cycle callbacks ran first.  This family
+flags the patterns that break that contract:
+
+* **MC2601 — same-cycle shared-state race.**  Two event handlers of one
+  component class can be pending at the same cycle in the same engine
+  phase, and one writes instance state the other reads or writes.
+  Handler effects are computed over the synchronous call closure (a
+  handler's helpers run in its event frame) and descend one object
+  level into typed sub-components, so a CTT or BPQ mutation made from
+  sibling handlers is attributed to the shared table, not hidden behind
+  a method call.  Fix hints: *defer* one handler to a later phase (the
+  component-arbiter / rendezvous convention), *sequence* both effects
+  through one arbiter event, or make the update *commutative*.
+
+* **MC2602 — ``sim.now``-keyed insertion whose order escapes.**  A dict
+  keyed by the current cycle collides for same-cycle insertions, and
+  iterating it leaks callback dispatch order into results.  Key by
+  ``(now, seq)`` or iterate ``sorted()``.
+
+* **MC2603 — non-commutative stat ``.value`` read-modify-write.**  The
+  stats contract is that same-cycle updates commute (``inc``/``add``/
+  ``+=``); an ``*=``-style RMW or a rebuild-from-read makes the final
+  counter depend on handler order.
+
+Handler pairs already separated by the engine's phase hierarchy carry
+an ordering edge and are not flagged — the phase mechanism *is* the
+static fix MC2601 recommends.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (ATTR_AUGADD, CallGraph, FunctionNode,
+                                      ProjectContext)
+from repro.analysis.core import Finding, Module, Rule, register
+
+#: Infrastructure packages whose scheduling is not simulation-semantic
+#: (perf harness, the analyzer itself, resilience sweeps).
+INFRA_MODULES = ("repro.perf", "repro.analysis", "repro.resilience")
+
+#: Attributes that never carry simulation state: engine/tracer plumbing
+#: references, never mutated concurrently in a meaningful way.
+_PLUMBING_ATTRS = {"sim", "stats", "_trace", "_track"}
+
+
+def _infra(package: str) -> bool:
+    return any(package == pkg or package.startswith(pkg + ".")
+               for pkg in INFRA_MODULES)
+
+
+def _owning_class(graph: CallGraph, fn: FunctionNode) -> str:
+    """Qualname of the class whose ``self`` the function closes over.
+
+    Nested handler defs (``def _retry(): ... self.sim.schedule(...,
+    _retry)``) inherit the enclosing method's class.
+    """
+    node: Optional[FunctionNode] = fn
+    while node is not None:
+        if node.class_name:
+            return node.qualname.rsplit(".", 1)[0]
+        node = graph.functions.get(node.parent) if node.parent else None
+    return ""
+
+
+def _class_quals(graph: CallGraph, class_qual: str) -> List[str]:
+    """The class plus in-graph bases, for member lookup."""
+    out = [class_qual]
+    for bare in graph.class_bases.get(class_qual, ()):
+        for qual in graph.class_names.get(bare, ()):
+            if qual not in out:
+                out.append(qual)
+    return out
+
+
+def _attr_types(graph: CallGraph, class_qual: str) -> Dict[str, str]:
+    """``self.X`` attribute name -> class qualname, where derivable.
+
+    Two sources, both in ``__init__``: a parameter with a class
+    annotation assigned to ``self.X``, and a direct ``self.X =
+    Cls(...)`` construction.
+    """
+    types: Dict[str, str] = {}
+    for qual in _class_quals(graph, class_qual):
+        init = graph.functions.get(f"{qual}.__init__")
+        if init is None:
+            continue
+        annotations: Dict[str, str] = {}
+        args = getattr(init.node, "args", None)
+        if isinstance(args, ast.arguments):
+            for a in list(args.posonlyargs) + list(args.args) \
+                    + list(args.kwonlyargs):
+                ann = a.annotation
+                name = (ann.id if isinstance(ann, ast.Name)
+                        else ann.attr if isinstance(ann, ast.Attribute)
+                        else "")
+                if name:
+                    annotations[a.arg] = name
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                bare = ""
+                if isinstance(node.value, ast.Name):
+                    bare = annotations.get(node.value.id, "")
+                elif isinstance(node.value, ast.Call) \
+                        and isinstance(node.value.func, ast.Name):
+                    bare = node.value.func.id
+                for cls_qual in graph.class_names.get(bare, ()):
+                    types.setdefault(target.attr, cls_qual)
+    return types
+
+
+class _Effects:
+    """Read/write sets of one handler's synchronous event frame."""
+
+    def __init__(self) -> None:
+        # attr path ("_wpq", "ctt._entries") -> set of write kinds
+        self.writes: Dict[str, Set[str]] = {}
+        self.reads: Set[str] = set()
+        # attr path -> a representative AST node (finding anchor)
+        self.anchors: Dict[str, ast.AST] = {}
+
+
+def _handler_effects(graph: CallGraph, class_qual: str,
+                     fn: FunctionNode) -> _Effects:
+    """Close over same-frame calls: helpers and typed sub-objects.
+
+    Follows ``self.helper()`` calls within the owning class (and bases),
+    bare calls to sibling nested defs, and one sub-object hop through
+    ``self.X.m()`` when ``X``'s class is derivable — deep enough to see
+    a CTT insert inside a read handler's helper chain.  Scheduled
+    callbacks are *not* followed: they run in a different event frame.
+    """
+    effects = _Effects()
+    quals = _class_quals(graph, class_qual)
+    types = _attr_types(graph, class_qual)
+    seen: Set[str] = set()
+    # Work items: (function, attr-path prefix, class context for self.*)
+    stack: List[Tuple[FunctionNode, str, List[str]]] = [(fn, "", quals)]
+    while stack:
+        node, prefix, ctx = stack.pop()
+        if node.qualname in seen:
+            continue
+        seen.add(node.qualname)
+        for attr, writes in node.attr_writes.items():
+            path = f"{prefix}{attr}"
+            effects.writes.setdefault(path, set()).update(
+                kind for _n, kind in writes)
+            effects.anchors.setdefault(path, writes[0][0])
+        for attr, nodes in node.attr_reads.items():
+            path = f"{prefix}{attr}"
+            effects.reads.add(path)
+            effects.anchors.setdefault(path, nodes[0])
+        for site in node.calls:
+            parts = site.dotted.split(".")
+            if parts[0] == "self" and len(parts) == 2:
+                # self.helper() within the class context.
+                for qual in ctx:
+                    helper = graph.functions.get(f"{qual}.{site.bare}")
+                    if helper is not None:
+                        stack.append((helper, prefix, ctx))
+                        break
+            elif parts[0] == "self" and len(parts) == 3 and not prefix:
+                # One hop into a typed sub-object: self.X.m().
+                sub_qual = types.get(parts[1])
+                if sub_qual is not None:
+                    sub_ctx = _class_quals(graph, sub_qual)
+                    for qual in sub_ctx:
+                        method = graph.functions.get(f"{qual}.{site.bare}")
+                        if method is not None:
+                            stack.append((method, f"{parts[1]}.", sub_ctx))
+                            break
+            elif not site.is_method:
+                # Sibling nested def in the same event frame.
+                for owner in (node.qualname, node.parent):
+                    if not owner:
+                        continue
+                    nested = graph.functions.get(f"{owner}.{site.bare}")
+                    if nested is not None:
+                        stack.append((nested, prefix, ctx))
+                        break
+    return effects
+
+
+def _handler_phases(sites) -> Set[Optional[int]]:
+    """Constant phases a handler is scheduled at (None = dynamic)."""
+    return {site.phase for _scheduler, site in sites}
+
+
+def _phases_overlap(a: Set[Optional[int]], b: Set[Optional[int]]) -> bool:
+    if None in a or None in b:
+        return True
+    return bool(a & b)
+
+
+@register
+class SameCycleRaceRule(Rule):
+    code = "MC2601"
+    name = "same-cycle-race"
+    summary = ("two same-phase handlers of one component touch the same "
+               "state with no ordering edge")
+    rationale = (
+        "Equal-cycle dispatch order is not part of the engine's "
+        "semantics (the REPRO_TIE_ORDER sanitizer permutes it), so a "
+        "handler writing state a sibling same-phase handler reads or "
+        "writes makes results depend on the tie-break.  Defer one "
+        "handler to a later phase, sequence both effects through one "
+        "arbiter event, or make the update commutative.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        # Group handlers by the class whose self they close over.
+        by_class: Dict[str, List[Tuple[FunctionNode, Set[Optional[int]]]]] \
+            = {}
+        for qualname, sites in project.handlers.items():
+            fn = graph.functions.get(qualname)
+            if fn is None or _infra(fn.module.package):
+                continue
+            class_qual = _owning_class(graph, fn)
+            if not class_qual:
+                continue
+            by_class.setdefault(class_qual, []).append(
+                (fn, _handler_phases(sites)))
+
+        for class_qual in sorted(by_class):
+            handlers = sorted(by_class[class_qual],
+                              key=lambda h: h[0].qualname)
+            effects = {fn.qualname: _handler_effects(graph, class_qual, fn)
+                       for fn, _phases in handlers}
+            reported: Set[frozenset] = set()
+            for i, (fn_a, phases_a) in enumerate(handlers):
+                for fn_b, phases_b in handlers[i + 1:]:
+                    if fn_a.qualname == fn_b.qualname:
+                        continue
+                    if not _phases_overlap(phases_a, phases_b):
+                        continue  # ordering edge: phase separation
+                    pair = frozenset((fn_a.qualname, fn_b.qualname))
+                    if pair in reported:
+                        continue
+                    conflict = self._conflicts(effects[fn_a.qualname],
+                                               effects[fn_b.qualname])
+                    if not conflict:
+                        continue
+                    reported.add(pair)
+                    attrs = ", ".join(sorted(conflict)[:4])
+                    more = len(conflict) - 4
+                    if more > 0:
+                        attrs += f" (+{more} more)"
+                    writer, reader = fn_a, fn_b
+                    anchor = effects[writer.qualname].anchors.get(
+                        sorted(conflict)[0], writer.node)
+                    yield self.finding(
+                        writer.module, anchor,
+                        f"handlers {writer.name!r} and {reader.name!r} of "
+                        f"{class_qual.rsplit('.', 1)[-1]} are schedulable "
+                        f"at the same cycle and phase and race on "
+                        f"{attrs}; dispatch order is tie-break-dependent "
+                        f"— defer one to a later phase, sequence both "
+                        f"through one arbiter event, or make the update "
+                        f"commutative")
+
+    @staticmethod
+    def _conflicts(a: _Effects, b: _Effects) -> Set[str]:
+        out: Set[str] = set()
+        for x, y in ((a, b), (b, a)):
+            for attr, kinds in x.writes.items():
+                base = attr.split(".")[0]
+                if base in _PLUMBING_ATTRS:
+                    continue
+                if attr in y.reads:
+                    out.add(attr)
+                other = y.writes.get(attr)
+                if other is not None:
+                    # write/write commutes only when both sides are
+                    # pure ``+=`` accumulation.
+                    if kinds != {ATTR_AUGADD} or other != {ATTR_AUGADD}:
+                        out.add(attr)
+        return out
+
+
+@register
+class NowKeyedOrderEscapeRule(Rule):
+    code = "MC2602"
+    name = "now-keyed-order-escape"
+    summary = ("dict keyed by sim.now is iterated: same-cycle insertions "
+               "leak dispatch order")
+    rationale = (
+        "Two same-cycle insertions under a bare sim.now key collide, "
+        "and iterating the dict exposes whichever handler ran last — a "
+        "tie-order dependence.  Key by (now, seq) or a stable id, or "
+        "iterate sorted().")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if _infra(module.package):
+            return
+        from repro.analysis.callgraph import CallGraph
+        graph = CallGraph.build([module])
+        for fn in graph.functions.values():
+            for store in fn.now_key_stores:
+                target = store.targets[0] if isinstance(store, ast.Assign) \
+                    else store.target
+                receiver = target.value  # the subscripted expression
+                name = self._receiver_name(receiver)
+                if name and not self._iterated(module, name):
+                    continue  # order never escapes: no iteration found
+                yield self.finding(
+                    module, store,
+                    "insertion keyed by sim.now: same-cycle handlers "
+                    "collide on the key and iteration order leaks the "
+                    "tie-break — key by (now, seq) or iterate sorted()")
+
+    @staticmethod
+    def _receiver_name(node: ast.AST) -> str:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return ""
+
+    @staticmethod
+    def _iterated(module: Module, name: str) -> bool:
+        """Does the module iterate ``name`` outside ``sorted()``?"""
+        for node in ast.walk(module.tree):
+            iter_expr = None
+            if isinstance(node, ast.For):
+                iter_expr = node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iter_expr = node.generators[0].iter
+            if iter_expr is None:
+                continue
+            expr = iter_expr
+            wrapped_sorted = False
+            if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+                if expr.func.id == "sorted":
+                    wrapped_sorted = True
+                if expr.args:
+                    expr = expr.args[0]
+            if isinstance(expr, ast.Call) and isinstance(expr.func,
+                                                         ast.Attribute) \
+                    and expr.func.attr in ("items", "keys", "values"):
+                expr = expr.func.value
+            target_name = ""
+            if isinstance(expr, ast.Attribute):
+                target_name = expr.attr
+            elif isinstance(expr, ast.Name):
+                target_name = expr.id
+            if target_name == name and not wrapped_sorted:
+                return True
+        return False
+
+
+@register
+class StatValueRmwRule(Rule):
+    code = "MC2603"
+    name = "stat-value-rmw"
+    summary = ("non-commutative read-modify-write of a stat .value in "
+               "handler code")
+    rationale = (
+        "The stats contract is that same-cycle updates commute "
+        "(inc/add/+=) so the final counters are tie-order independent; "
+        "a *= or rebuild-from-read RMW breaks that.  Use inc()/add() "
+        "or a commutative aug-assign.")
+
+    #: Commutative aug-assign operators (addition group).
+    _COMMUTATIVE = (ast.Add, ast.Sub)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for fn in project.graph.functions.values():
+            if _infra(fn.module.package) \
+                    or fn.module.package == "repro.sim.stats":
+                continue
+            for node, dotted in fn.stat_value_rmw:
+                if isinstance(node, ast.AugAssign) \
+                        and isinstance(node.op, self._COMMUTATIVE):
+                    continue
+                yield self.finding(
+                    fn.module, node,
+                    f"non-commutative read-modify-write of {dotted}: the "
+                    f"result depends on same-cycle handler order — use "
+                    f"inc()/add() or a commutative += update")

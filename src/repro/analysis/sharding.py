@@ -1,0 +1,474 @@
+"""Shard-locality classifier for the per-channel engine split.
+
+The roadmap's sharded-engine rewrite partitions the simulation by DRAM
+channel: each memory controller (and the state it owns) runs in its own
+event loop, and anything two shards touch in the same cycle must go
+through a deterministic rendezvous.  This pass answers, statically, the
+question that rewrite starts from: **which instance state is provably
+local to one shard, which is touched across shards, and where are the
+rendezvous points?**
+
+The classification is a channel-index dataflow over the call-graph IR
+(:mod:`repro.analysis.callgraph`):
+
+* classes are assigned a **role** — ``sharded`` (per-channel instances,
+  detected through the ``channel_id`` constructor wiring and base-class
+  inheritance), ``sharded-owned`` (objects a sharded class constructs
+  and owns, e.g. the DRAM channel model and the BPQ), or ``shared``
+  (everything else: the engine, the interconnect fabric, the replicated
+  CTT);
+* within each method, local names are typed by what they were assigned
+  from: ``self``-derived values stay on the owning shard, while values
+  returned by the owner-lookup helpers (``_owner_of`` / ``_owner``) or
+  subscripted out of a ``controllers`` list are **cross-owner** — they
+  may reference a *different* shard's instance;
+* an attribute reached through a cross-owner name from a sharded class
+  marks that attribute (and, for method accesses, the instance state
+  the method's same-class closure touches) as **cross-shard**, with the
+  access site recorded as a rendezvous point;
+* accesses through untyped receivers that collide with a sharded
+  class's known state fall into the **unknown** bucket — the honest
+  "needs a human" remainder.
+
+Shared-component state is cross-shard by definition (the fabric is the
+rendezvous); packet deliveries through the interconnect are message
+passing, not synchronous cross-shard access, so they do not mark the
+receiving controller's state.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.callgraph import CallGraph, FunctionNode
+from repro.analysis.core import Module
+
+#: Dotted-module prefixes whose classes the report covers: the engine,
+#: both memory controllers, the CTT/BPQ structures, the interconnect
+#: and the DRAM device model.
+TARGET_PACKAGES = (
+    "repro.sim.engine",
+    "repro.memctrl",
+    "repro.mcsquare",
+    "repro.interconnect",
+    "repro.dram",
+)
+
+#: Helper methods whose return value may be *another* shard's
+#: controller (the owner-lookup idiom).
+CROSS_OWNER_FNS = {"_owner_of", "_owner"}
+
+ROLE_SHARDED = "sharded"
+ROLE_OWNED = "sharded-owned"
+ROLE_SHARED = "shared"
+
+CLASS_LOCAL = "local"
+CLASS_CROSS = "cross-shard"
+CLASS_UNKNOWN = "unknown"
+
+
+@dataclass
+class AttrInfo:
+    """Classification of one instance attribute."""
+
+    locality: str                      # local | cross-shard | unknown
+    kinds: List[str] = field(default_factory=list)   # write kinds observed
+    sites: List[str] = field(default_factory=list)   # rendezvous/unknown sites
+    reason: str = ""
+
+
+@dataclass
+class ClassInfo:
+    """One component class in the report."""
+
+    qualname: str
+    role: str
+    attrs: Dict[str, AttrInfo] = field(default_factory=dict)
+
+
+@dataclass
+class Rendezvous:
+    """One cross-shard access site."""
+
+    site: str          # path:line
+    via: str           # source text shape, e.g. "owner.dram_request"
+    target: str        # "<Class>.<member>"
+
+
+@dataclass
+class ShardingReport:
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    rendezvous: List[Rendezvous] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out = {CLASS_LOCAL: 0, CLASS_CROSS: 0, CLASS_UNKNOWN: 0}
+        for cls in self.classes.values():
+            for info in cls.attrs.values():
+                out[info.locality] += 1
+        return out
+
+    def unknown(self) -> List[str]:
+        """``Class.attr`` names in the unknown bucket."""
+        out = []
+        for cls in self.classes.values():
+            for name, info in sorted(cls.attrs.items()):
+                if info.locality == CLASS_UNKNOWN:
+                    out.append(f"{cls.qualname.rsplit('.', 1)[-1]}.{name}")
+        return out
+
+
+def _in_target(package: str) -> bool:
+    return any(package == pkg or package.startswith(pkg + ".")
+               for pkg in TARGET_PACKAGES)
+
+
+def _site(module: Module, node: ast.AST) -> str:
+    return f"{module.path}:{getattr(node, 'lineno', 0)}"
+
+
+class _Classifier:
+    def __init__(self, modules: Sequence[Module]):
+        self.modules = [m for m in modules if _in_target(m.package)]
+        self.graph = CallGraph.build(self.modules)
+        #: class qualname -> state attr name -> write kinds
+        self.state: Dict[str, Dict[str, Set[str]]] = {}
+        #: class qualname -> method bare names
+        self.methods: Dict[str, Set[str]] = {}
+        self.roles: Dict[str, str] = {}
+        #: (class qualname, attr) -> rendezvous sites
+        self.cross: Dict[tuple, List[str]] = {}
+        self.cross_via: Dict[tuple, str] = {}
+        #: (class qualname, attr) -> unknown-access sites
+        self.hazy: Dict[tuple, List[str]] = {}
+        self.rendezvous: List[Rendezvous] = []
+
+    # -- class tables ------------------------------------------------------
+    def _collect_classes(self) -> None:
+        for class_qual, fns in self.graph.classes.items():
+            attrs: Dict[str, Set[str]] = {}
+            names: Set[str] = set()
+            for fn in fns:
+                names.add(fn.name)
+                for attr, writes in fn.attr_writes.items():
+                    attrs.setdefault(attr, set()).update(
+                        kind for _n, kind in writes)
+            self.state[class_qual] = attrs
+            self.methods[class_qual] = names
+
+    def _base_quals(self, class_qual: str) -> List[str]:
+        """The class plus its in-graph bases (bare-name resolution)."""
+        out = [class_qual]
+        for bare in self.graph.class_bases.get(class_qual, ()):
+            for qual in self.graph.class_names.get(bare, ()):
+                if qual != class_qual:
+                    out.append(qual)
+        return out
+
+    def _members(self, class_qual: str) -> Set[str]:
+        """State attrs plus method names, bases included."""
+        out: Set[str] = set()
+        for qual in self._base_quals(class_qual):
+            out |= set(self.state.get(qual, ()))
+            out |= self.methods.get(qual, set())
+        return out
+
+    # -- roles -------------------------------------------------------------
+    def _assign_roles(self) -> None:
+        # Seed: a class is sharded when it is wired to one channel —
+        # its __init__ takes channel_id or its methods touch
+        # self.channel_id.
+        for class_qual, fns in self.graph.classes.items():
+            role = ROLE_SHARED
+            for fn in fns:
+                if "channel_id" in fn.attr_writes \
+                        or "channel_id" in fn.attr_reads:
+                    role = ROLE_SHARDED
+                    break
+                if fn.name == "__init__":
+                    args = getattr(fn.node, "args", None)
+                    if args is not None and any(
+                            a.arg == "channel_id" for a in args.args):
+                        role = ROLE_SHARDED
+                        break
+            self.roles[class_qual] = role
+        # Inherit shardedness through bases (the (MC)² controller
+        # subclasses the vanilla one).
+        changed = True
+        while changed:
+            changed = False
+            for class_qual in self.graph.classes:
+                if self.roles.get(class_qual) == ROLE_SHARDED:
+                    continue
+                for bare in self.graph.class_bases.get(class_qual, ()):
+                    for base_qual in self.graph.class_names.get(bare, ()):
+                        if self.roles.get(base_qual) == ROLE_SHARDED:
+                            self.roles[class_qual] = ROLE_SHARDED
+                            changed = True
+        # Owned: constructed inside a sharded (or owned) class's
+        # methods — the per-controller DRAM channel and BPQ.
+        changed = True
+        while changed:
+            changed = False
+            for class_qual, fns in self.graph.classes.items():
+                if self.roles.get(class_qual, ROLE_SHARED) == ROLE_SHARED:
+                    continue
+                for fn in fns:
+                    for site in fn.calls:
+                        for target_qual in self.graph.class_names.get(
+                                site.bare, ()):
+                            if self.roles.get(target_qual) == ROLE_SHARED \
+                                    and target_qual in self.graph.classes:
+                                self.roles[target_qual] = ROLE_OWNED
+                                changed = True
+
+    # -- receiver typing ---------------------------------------------------
+    @staticmethod
+    def _receiver_types(fn: FunctionNode) -> Dict[str, str]:
+        """Local name -> "self-derived" | "cross-owner" | "param"."""
+        types: Dict[str, str] = {}
+        args = getattr(fn.node, "args", None)
+        if isinstance(args, ast.arguments):
+            for a in list(args.posonlyargs) + list(args.args) \
+                    + list(args.kwonlyargs):
+                if a.arg != "self":
+                    types[a.arg] = "param"
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            kind = ""
+            if isinstance(value, ast.Call):
+                func = value.func
+                bare = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else "")
+                if bare in CROSS_OWNER_FNS:
+                    kind = "cross-owner"
+                elif isinstance(func, ast.Attribute) \
+                        and _rooted_at_self(func.value):
+                    kind = "self-derived"
+            elif isinstance(value, ast.Subscript):
+                if _mentions_controllers(value.value):
+                    kind = "cross-owner"
+                elif _rooted_at_self(value.value):
+                    kind = "self-derived"
+            elif isinstance(value, ast.Attribute) \
+                    and _rooted_at_self(value):
+                kind = "self-derived"
+            if kind:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        types[target.id] = kind
+        return types
+
+    # -- closure over a cross-accessed method ------------------------------
+    def _method_state_closure(self, class_qual: str,
+                              method: str) -> Set[str]:
+        """Instance attrs the method (and its same-class closure) touches.
+
+        Follows same-class calls and schedule-site handlers one
+        fixed point deep — enough to carry ``dram_request`` through
+        ``_grant_dram`` to the channel reference.
+        """
+        quals = self._base_quals(class_qual)
+        seen: Set[str] = set()
+        attrs: Set[str] = set()
+        stack = [method]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for qual in quals:
+                fn = self.graph.functions.get(f"{qual}.{name}")
+                if fn is None:
+                    continue
+                attrs.update(fn.attr_writes)
+                attrs.update(fn.attr_reads)
+                for site in fn.calls:
+                    if site.dotted.startswith("self."):
+                        stack.append(site.bare)
+                for ssite in fn.schedule_sites:
+                    if ssite.handler and ssite.handler != "<lambda>":
+                        stack.append(ssite.handler)
+        return attrs
+
+    # -- main pass ---------------------------------------------------------
+    def run(self) -> ShardingReport:
+        self._collect_classes()
+        self._assign_roles()
+
+        sharded_quals = [q for q, role in self.roles.items()
+                         if role != ROLE_SHARED]
+
+        def resolve_targets(attr: str) -> List[str]:
+            return [q for q in sharded_quals if attr in self._members(q)]
+
+        for class_qual, fns in self.graph.classes.items():
+            accessor_shared = self.roles.get(class_qual) == ROLE_SHARED
+            for fn in fns:
+                types = self._receiver_types(fn)
+                for node in ast.walk(fn.node):
+                    if not (isinstance(node, ast.Attribute)
+                            and isinstance(node.value, ast.Name)):
+                        continue
+                    recv = node.value.id
+                    if recv == "self":
+                        continue
+                    rtype = types.get(recv, "")
+                    if rtype == "self-derived":
+                        continue
+                    if rtype == "cross-owner" and not accessor_shared:
+                        # Synchronous access to a possibly-remote shard.
+                        for target_qual in resolve_targets(node.attr):
+                            self._mark_cross(target_qual, node.attr,
+                                             fn, node, recv)
+                    elif rtype in ("param", "") and not accessor_shared:
+                        # Untyped receiver colliding with sharded state:
+                        # cannot prove locality.
+                        for target_qual in resolve_targets(node.attr):
+                            if node.attr in self.state.get(target_qual, {}) \
+                                    and target_qual != class_qual \
+                                    and class_qual not in \
+                                    self._base_quals(target_qual) \
+                                    and target_qual not in \
+                                    self._base_quals(class_qual):
+                                key = (target_qual, node.attr)
+                                self.hazy.setdefault(key, []).append(
+                                    _site(fn.module, node))
+
+        return self._build_report()
+
+    def _mark_cross(self, target_qual: str, member: str,
+                    fn: FunctionNode, node: ast.AST, recv: str) -> None:
+        site = _site(fn.module, node)
+        bare_cls = target_qual.rsplit(".", 1)[-1]
+        self.rendezvous.append(Rendezvous(
+            site=site, via=f"{recv}.{member}",
+            target=f"{bare_cls}.{member}"))
+        # Direct state access, or the closure of an accessed method.
+        touched: Set[str]
+        if any(member in self.state.get(q, ())
+               for q in self._base_quals(target_qual)):
+            touched = {member}
+        else:
+            touched = self._method_state_closure(target_qual, member)
+        for attr in touched:
+            for qual in self._base_quals(target_qual):
+                if attr in self.state.get(qual, ()):
+                    key = (qual, attr)
+                    self.cross.setdefault(key, []).append(site)
+                    self.cross_via.setdefault(key, f"{recv}.{member}")
+
+    def _build_report(self) -> ShardingReport:
+        report = ShardingReport(rendezvous=self.rendezvous)
+        for class_qual in sorted(self.graph.classes):
+            role = self.roles.get(class_qual, ROLE_SHARED)
+            info = ClassInfo(qualname=class_qual, role=role)
+            for attr in sorted(self.state.get(class_qual, ())):
+                kinds = sorted(self.state[class_qual][attr])
+                key = (class_qual, attr)
+                if role == ROLE_SHARED:
+                    info.attrs[attr] = AttrInfo(
+                        locality=CLASS_CROSS, kinds=kinds,
+                        reason="state of a shared component (the fabric "
+                               "is the rendezvous)")
+                elif key in self.cross:
+                    info.attrs[attr] = AttrInfo(
+                        locality=CLASS_CROSS, kinds=kinds,
+                        sites=sorted(set(self.cross[key])),
+                        reason=f"reached across shards via "
+                               f"{self.cross_via[key]}")
+                elif key in self.hazy:
+                    info.attrs[attr] = AttrInfo(
+                        locality=CLASS_UNKNOWN, kinds=kinds,
+                        sites=sorted(set(self.hazy[key])),
+                        reason="accessed through an untyped receiver "
+                               "from another class")
+                else:
+                    info.attrs[attr] = AttrInfo(
+                        locality=CLASS_LOCAL, kinds=kinds,
+                        reason="only touched through self by the owning "
+                               "shard's instance")
+            report.classes[class_qual] = info
+        return report
+
+
+def classify(modules: Sequence[Module]) -> ShardingReport:
+    """Classify every component class's state in ``modules``."""
+    return _Classifier(modules).run()
+
+
+def report_json(report: ShardingReport) -> str:
+    payload = {
+        "summary": report.counts(),
+        "unknown": report.unknown(),
+        "classes": {
+            qual: {
+                "role": info.role,
+                "attrs": {
+                    name: {
+                        "class": a.locality,
+                        "kinds": a.kinds,
+                        "sites": a.sites,
+                        "reason": a.reason,
+                    }
+                    for name, a in sorted(info.attrs.items())
+                },
+            }
+            for qual, info in sorted(report.classes.items())
+        },
+        "rendezvous": [
+            {"site": r.site, "via": r.via, "target": r.target}
+            for r in report.rendezvous
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def report_text(report: ShardingReport) -> str:
+    lines: List[str] = []
+    counts = report.counts()
+    lines.append("shard-locality report")
+    lines.append(f"  {counts[CLASS_LOCAL]} local, "
+                 f"{counts[CLASS_CROSS]} cross-shard, "
+                 f"{counts[CLASS_UNKNOWN]} unknown")
+    for qual, info in sorted(report.classes.items()):
+        if not info.attrs:
+            continue
+        lines.append(f"{qual} [{info.role}]")
+        for name, attr in sorted(info.attrs.items()):
+            suffix = f"  ({attr.reason})" if attr.reason else ""
+            lines.append(f"  {attr.locality:<12} {name}{suffix}")
+            for site in attr.sites:
+                lines.append(f"               @ {site}")
+    if report.rendezvous:
+        lines.append("rendezvous points:")
+        seen = set()
+        for r in report.rendezvous:
+            key = (r.site, r.via)
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(f"  {r.site}: {r.via} -> {r.target}")
+    return "\n".join(lines) + "\n"
+
+
+def _rooted_at_self(node: ast.AST) -> bool:
+    """True when the value chain bottoms out at the literal ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = (node.value if isinstance(node, (ast.Attribute,
+                                                ast.Subscript))
+                else node.func)
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _mentions_controllers(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and "controller" in sub.attr:
+            return True
+        if isinstance(sub, ast.Name) and "controller" in sub.id:
+            return True
+    return False

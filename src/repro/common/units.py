@@ -7,6 +7,9 @@ Helpers convert between nanoseconds and cycles at the configured clock.
 
 from __future__ import annotations
 
+import math
+from fractions import Fraction
+
 # ---------------------------------------------------------------- sizes
 B = 1
 KB = 1024
@@ -21,11 +24,28 @@ HUGE_PAGE_SIZE = 2 * MB
 CPU_CLOCK_GHZ = 4.0  # Table I: 4 GHz
 
 
+def _as_exact(value: float) -> Fraction:
+    """The decimal rational ``value`` denotes, not its binary float image.
+
+    ``Fraction(0.1)`` is the 55-bit binary neighbour of one tenth;
+    parsing the shortest round-trip repr instead yields exactly 1/10,
+    which is what a ``latency_ns=0.1`` config line means.
+    """
+    return Fraction(repr(value)) if isinstance(value, float) \
+        else Fraction(value)
+
+
 def ns_to_cycles(ns: float, clock_ghz: float = CPU_CLOCK_GHZ) -> int:
-    """Convert nanoseconds to an integral number of CPU cycles (rounded up)."""
-    cycles = ns * clock_ghz
-    whole = int(cycles)
-    return whole if cycles == whole else whole + 1
+    """Convert nanoseconds to an integral number of CPU cycles (rounded up).
+
+    The product is taken exactly in rational arithmetic before the
+    ceiling, so a duration that is a whole number of cycles never rounds
+    up an extra cycle from float error — e.g. 0.1 ns at 30 GHz is
+    exactly 3 cycles even though ``0.1 * 30.0`` floats to
+    ``3.0000000000000004`` (which the old float-equality ceil bumped
+    to 4).
+    """
+    return math.ceil(_as_exact(ns) * _as_exact(clock_ghz))
 
 
 def cycles_to_ns(cycles: float, clock_ghz: float = CPU_CLOCK_GHZ) -> float:

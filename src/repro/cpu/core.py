@@ -121,7 +121,12 @@ class Core:
         if self._pump_scheduled:
             return
         self._pump_scheduled = True
-        self.sim.schedule(delay, self._pump_entry, label=self._pump_label)
+        # Late phase: the pump is the core's issue *arbiter* — it must
+        # observe every same-cycle completion / resume / buffer release
+        # before deciding what issues this cycle, no matter how the
+        # tie-break orders those events (see repro.sim.engine).
+        self.sim.schedule(delay, self._pump_entry, label=self._pump_label,
+                          phase=1)
 
     def _run_pump(self) -> None:
         self._pump_scheduled = False
@@ -224,7 +229,9 @@ class Core:
         """
         def _try() -> None:
             if any(self._pending_store_overlap(a, s) for a, s in ranges):
-                self.sim.schedule(5, _try, label="order-wait")
+                # Late phase: the retry polls store-buffer state, so it
+                # must not race same-cycle drains.
+                self.sim.schedule(5, _try, label="order-wait", phase=1)
             else:
                 action()
 
@@ -311,7 +318,8 @@ class Core:
                 # would otherwise land *after* this one and resurrect
                 # stale data.
                 if self._older_store_overlaps(entry):
-                    self.sim.schedule(5, _dispatch, label="st-st-order")
+                    self.sim.schedule(5, _dispatch, label="st-st-order",
+                                      phase=1)
                     return
                 self.hierarchy.store(self.core_id, op.addr, op.size, data,
                                      _drained)

@@ -1,10 +1,23 @@
 """Memory interconnect between the LLC and the memory controllers.
 
 A constant-latency, order-preserving link: packets are delivered to the
-owning controller (by channel interleave) exactly ``hop_cycles`` after
-issue, in issue order.  Order preservation models the FIFO write buffer
-the paper relies on ("the caches' FIFO write buffer ensures that the
-writebacks reach the MC before the MCLAZY packet", §III-B1).
+owning controller (by channel interleave) ``hop_cycles`` after issue, one
+per cycle, in *grant* order.  Order preservation models the FIFO write
+buffer the paper relies on ("the caches' FIFO write buffer ensures that
+the writebacks reach the MC before the MCLAZY packet", §III-B1).
+
+Grant order is decided by a same-cycle arbiter, not by the order in
+which components happened to call :meth:`Interconnect.send` within a
+cycle: all packets issued in one cycle are collected and granted link
+slots in a canonical (packet-type, address, requestor) order, with
+writebacks ranked ahead of the control packets they must precede and
+reads last.  Callback dispatch order among equal-timestamp events is
+explicitly *not* part of the simulator's semantics (it is permuted by
+the ``REPRO_TIE_ORDER`` sanitizer, :mod:`repro.analysis.simsan`), and
+the interconnect is the rendezvous where independently-scheduled
+components meet — exactly the seam the sharded-engine rewrite needs to
+keep deterministic.  The arbiter runs in the engine's late dispatch
+phase so it observes every same-cycle send under any tie-break.
 
 Control packets (MCLAZY / MCFREE) are *broadcast*: every controller must
 update its CTT replica.  The shared CTT object makes the replicas
@@ -27,6 +40,19 @@ from repro.sim.stats import StatGroup
 _DELIVER_LABEL = {pt: f"xbar-{pt.value}" for pt in PacketType}
 _DUP_LABEL = {pt: f"xbar-dup-{pt.value}" for pt in PacketType}
 
+#: Canonical same-cycle grant order.  Writebacks first (they must reach
+#: the MC before any control packet issued the same cycle observes the
+#: lines), then CTT control traffic, reads last so a read racing a
+#: same-cycle writeback to the same line sees the written data — the
+#: FIFO-write-buffer semantics, made independent of callback order.
+_TYPE_RANK = {
+    PacketType.WRITE: 0,
+    PacketType.MCLAZY: 1,
+    PacketType.MCFREE: 2,
+    PacketType.CTT_UPDATE: 3,
+    PacketType.READ: 4,
+}
+
 
 class Interconnect:
     """Routes packets from the cache side to memory controllers."""
@@ -41,6 +67,10 @@ class Interconnect:
         self._packets = stats.counter("packets", "packets transported")
         self._broadcasts = stats.counter("broadcasts", "control broadcasts")
         self._last_delivery = 0
+        # Same-cycle arbitration: packets sent during cycle N accumulate
+        # here and are granted link slots by one late-phase event at N.
+        self._batch: List[Packet] = []
+        self._batch_cycle = -1
         # Optional fault injection (repro.faults.injector): called per
         # packet, returns (extra_delay, duplicate) or None.  Delays model
         # CRC retransmission on a lossy link — the link protocol retries
@@ -49,13 +79,43 @@ class Interconnect:
         self.fault_hook = None
 
     def send(self, pkt: Packet) -> None:
-        """Deliver ``pkt`` to its controller after the hop latency.
+        """Queue ``pkt`` for this cycle's arbitration round.
 
-        Deliveries never reorder: each is scheduled no earlier than the
-        previous one.
+        Deliveries never reorder and never share a cycle: each packet is
+        granted a link slot strictly after the previous grant, in the
+        canonical order :func:`_grant_key` defines — not in the order
+        same-cycle senders happened to run.
         """
         self._packets.inc()
-        when = max(self.sim.now + self.hop_cycles, self._last_delivery)
+        now = self.sim.now
+        if self._batch_cycle != now or not self._batch:
+            self._batch_cycle = now
+            self._batch = [pkt]
+            # Rendezvous phase: fires after every same-cycle send —
+            # including sends from phase-1 component arbiters like the
+            # core's issue pump — whatever tie-break is installed (see
+            # repro.sim.engine).
+            self.sim.schedule(0, self._arbitrate, label="xbar-arb", phase=2)
+        else:
+            self._batch.append(pkt)
+
+    @staticmethod
+    def _grant_key(pkt: Packet):
+        return (_TYPE_RANK[pkt.ptype], pkt.addr, pkt.requestor,
+                pkt.is_bounce, pkt.is_prefetch)
+
+    def _arbitrate(self) -> None:
+        """Grant link slots to every packet issued this cycle."""
+        batch, self._batch = self._batch, []
+        if len(batch) > 1:
+            # Stable sort: same-key packets (e.g. two writes of the same
+            # line from one burst) keep their issue order.
+            batch.sort(key=self._grant_key)
+        for pkt in batch:
+            self._deliver(pkt)
+
+    def _deliver(self, pkt: Packet) -> None:
+        when = max(self.sim.now + self.hop_cycles, self._last_delivery + 1)
         duplicate = False
         if self.fault_hook is not None:
             fault = self.fault_hook(pkt)

@@ -14,7 +14,7 @@ this is the effect the paper's Figure 21 sweeps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common import params
 from repro.common.errors import SimulationError
@@ -55,11 +55,13 @@ class BouncePendingQueue:
 
     def __init__(self, capacity: int = params.BPQ_ENTRIES,
                  stats: Optional[StatGroup] = None,
-                 name: str = "bpq"):
+                 name: str = "bpq",
+                 clock: Optional[Callable[[], int]] = None):
         if capacity <= 0:
             raise SimulationError("BPQ capacity must be positive")
         self.capacity = capacity
         self.name = name
+        self._clock = clock
         self._entries: Dict[int, BpqEntry] = {}
         # Optional repro.obs tracer (set by runtime.attach_tracer) and
         # the per-queue park serial that keys its spans.
@@ -72,7 +74,16 @@ class BouncePendingQueue:
         self._drained = stats.counter("drained", "parked writes drained to memory")
         self._full_stalls = stats.counter(
             "full_stalls", "writes delayed because the BPQ was full")
-        self._occupancy_peak = stats.counter("peak_occupancy", "max entries held")
+        # Cycle-end high-water mark, mirroring the CTT's: a same-cycle
+        # park/release pair ends the cycle at the same length whichever
+        # ran first, so only cycle-end lengths count toward the peak
+        # (per-mutation when clockless — see _note_occupancy).
+        self._peak_committed = 0
+        self._peak_cycle: Optional[int] = None
+        self._cycle_end_len = 0
+        stats.formula("peak_occupancy", "max entries held at any cycle end",
+                      lambda: float(max(self._peak_committed,
+                                        len(self._entries))))
         self._dropped = stats.counter(
             "dropped", "parked writes discarded by fault injection")
         self._superseded = stats.counter(
@@ -105,8 +116,7 @@ class BouncePendingQueue:
         self._park_seq += 1
         self._entries[line] = entry
         self._parked.inc()
-        if len(self._entries) > self._occupancy_peak.value:
-            self._occupancy_peak.value = len(self._entries)
+        self._note_occupancy()
         trace = self._trace
         if trace is not None:
             trace.span_begin("bpq", self.name, "parked-write",
@@ -124,10 +134,30 @@ class BouncePendingQueue:
                              self._span_id(entry))
         return entry
 
+    def _note_occupancy(self) -> None:
+        """Advance the cycle-end occupancy high-water mark.
+
+        The first mutation of a new cycle commits the previous cycle's
+        final length as a peak candidate; the read-time formula folds in
+        the still-open cycle.  Clockless queues (unit tests) keep a
+        per-mutation high-water mark instead.
+        """
+        if self._clock is None:
+            if len(self._entries) > self._peak_committed:
+                self._peak_committed = len(self._entries)
+            return
+        now = self._clock()
+        if self._peak_cycle is not None and now != self._peak_cycle \
+                and self._cycle_end_len > self._peak_committed:
+            self._peak_committed = self._cycle_end_len
+        self._peak_cycle = now
+        self._cycle_end_len = len(self._entries)
+
     def release(self, line: int) -> BpqEntry:
         """Remove and return the parked entry (it is draining to memory)."""
         entry = self._entries.pop(line)
         self._drained.inc()
+        self._note_occupancy()
         self._end_span(entry, "drained")
         return entry
 
@@ -141,6 +171,7 @@ class BouncePendingQueue:
         """
         entry = self._entries.pop(line)
         self._superseded.inc()
+        self._note_occupancy()
         self._end_span(entry, "superseded")
         return entry
 
@@ -153,6 +184,7 @@ class BouncePendingQueue:
         """
         entry = self._entries.pop(line)
         self._dropped.inc()
+        self._note_occupancy()
         self._end_span(entry, "dropped")
         return entry
 

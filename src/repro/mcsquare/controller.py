@@ -67,7 +67,8 @@ class McSquareController(MemoryController):
                          wpq_entries=wpq_entries, rpq_entries=rpq_entries)
         self.ctt = ctt
         self.bpq = BouncePendingQueue(bpq_entries, stats.group("bpq"),
-                                      name=f"bpq{channel_id}")
+                                      name=f"bpq{channel_id}",
+                                      clock=lambda: self.sim.now)
         self.copy_threshold = copy_threshold
         self.parallel_frees = parallel_frees
         self.bounce_writeback = bounce_writeback
@@ -84,7 +85,10 @@ class McSquareController(MemoryController):
         # than waiting for the 50% threshold (fully asynchronous copies).
         self.eager_async_copies = eager_async_copies
         self.peers: List["McSquareController"] = []  # set by the system
-        self._bpq_overflow: Deque[Packet] = deque()
+        # Stalled source writes as (arrival_cycle, packet): the stall
+        # stat is charged at admission, and only when the write actually
+        # waited past its arrival cycle (see _admit_overflow).
+        self._bpq_overflow: Deque[Tuple[int, Packet]] = deque()
         self._async_inflight = 0
 
         self._bounces = stats.counter("bounces", "dest reads rerouted to source")
@@ -194,9 +198,12 @@ class McSquareController(MemoryController):
                 extra = (params.INTERCONNECT_HOP_CYCLES
                          if owner is not self else 0)
                 loc = owner.address_map.decode(src_line)
-                done = owner.channel.access(loc, self.sim.now + extra)
-                self.sim.schedule_at(done, lambda: _read_next(index + 1),
-                                     label="bounce-src-read")
+                owner.dram_request(
+                    loc, (self.DRAM_RANK_BOUNCE, pkt.addr, index),
+                    lambda done: self.sim.schedule_at(
+                        done, lambda: _read_next(index + 1),
+                        label="bounce-src-read"),
+                    extra=extra)
                 return
             done = self.sim.now + params.MC_STATIC_LATENCY_CYCLES
             pkt.data = data
@@ -250,9 +257,11 @@ class McSquareController(MemoryController):
             self._drain_ready_bpq_entries()
 
         wb_loc = dest_owner.address_map.decode(line)
-        wb_done = dest_owner.channel.access(wb_loc, self.sim.now)
-        self.sim.schedule_at(wb_done, _complete_writeback,
-                             label="bounce-writeback")
+        dest_owner.dram_request(
+            wb_loc, (self.DRAM_RANK_BOUNCE_WB, line),
+            lambda wb_done: self.sim.schedule_at(wb_done,
+                                                 _complete_writeback,
+                                                 label="bounce-writeback"))
 
     # ============================================================== writes
     def _handle_write(self, pkt: Packet) -> None:
@@ -272,8 +281,12 @@ class McSquareController(MemoryController):
         # Writes to a tracked source line park in the BPQ.
         if self.ctt.source_overlaps(line, CACHELINE_SIZE):
             if self.bpq.full:
-                self.bpq.record_full_stall()
-                self._bpq_overflow.append(pkt)
+                # Full-stall accounting is deferred to admission time: a
+                # write admitted in its arrival cycle was never delayed
+                # (a same-cycle drain freed the slot), and charging it
+                # here would make the count depend on whether that drain
+                # dispatched before or after this handler.
+                self._bpq_overflow.append((self.sim.now, pkt))
                 if self.bpq_overflow_timeout is not None:
                     # Degradation: don't wait forever for a slot — after
                     # the timeout, eagerly resolve the copies backed by
@@ -347,9 +360,11 @@ class McSquareController(MemoryController):
                 addr = steps[index]
                 owner = self._owner_of(addr)
                 loc = owner.address_map.decode(addr)
-                done = owner.channel.access(loc, self.sim.now)
-                self.sim.schedule_at(done, lambda: _step(index + 1),
-                                     label="materialize-step")
+                owner.dram_request(
+                    loc, (self.DRAM_RANK_MATERIALIZE, dest_line, index),
+                    lambda done: self.sim.schedule_at(
+                        done, lambda: _step(index + 1),
+                        label="materialize-step"))
                 return
             current = self.ctt.lookup_dest_line(dest_line)
             if (current is not None
@@ -429,7 +444,9 @@ class McSquareController(MemoryController):
     def _admit_overflow(self) -> None:
         """Move stalled source writes into freed BPQ slots."""
         while self._bpq_overflow and not self.bpq.full:
-            pkt = self._bpq_overflow.popleft()
+            arrived, pkt = self._bpq_overflow.popleft()
+            if self.sim.now > arrived:
+                self.bpq.record_full_stall()
             line = align_down(pkt.addr, CACHELINE_SIZE)
             if self.bpq.holds(line):
                 self.bpq.merge(line, pkt.data, pkt)
@@ -447,9 +464,13 @@ class McSquareController(MemoryController):
         memory contents, which is what they would have snapshotted) and
         the write lands directly, bypassing the BPQ.
         """
-        if not any(waiting is pkt for waiting in self._bpq_overflow):
+        waiting = next((item for item in self._bpq_overflow
+                        if item[1] is pkt), None)
+        if waiting is None:
             return  # admitted (or already handled) in the meantime
-        self._bpq_overflow.remove(pkt)
+        self._bpq_overflow.remove(waiting)
+        if self.sim.now > waiting[0]:
+            self.bpq.record_full_stall()
         self._bpq_overflow_fallbacks.inc()
         line = align_down(pkt.addr, CACHELINE_SIZE)
         if self._trace is not None:

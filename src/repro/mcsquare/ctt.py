@@ -139,7 +139,20 @@ class CopyTrackingTable:
             "dest_evictions", "existing entries trimmed by a new destination")
         self._removed_bytes = stats.counter(
             "removed_bytes", "tracked bytes resolved or dropped")
-        self._peak = stats.counter("peak_occupancy", "max entries ever held")
+        # Peak occupancy is a high-water mark over *cycle-end* states.
+        # Two same-cycle operations (an insert racing a trim) end the
+        # cycle at the same length whichever ran first, but the transient
+        # mid-cycle maximum depends on their order — so the peak commits
+        # the previous cycle's final length when the first mutation of a
+        # new cycle arrives, and the read-time formula folds in the
+        # still-open cycle.  Without a clock it keeps the plain
+        # per-mutation high-water mark.
+        self._peak_committed = 0
+        self._peak_cycle: Optional[int] = None
+        self._cycle_end_len = 0
+        stats.formula("peak_occupancy", "max entries held at any cycle end",
+                      lambda: float(max(self._peak_committed,
+                                        len(self._entries))))
         self._copies_resolved = stats.counter(
             "copies_resolved", "registered copies fully resolved/untracked")
         self._copy_lifetime = stats.distribution(
@@ -195,8 +208,7 @@ class CopyTrackingTable:
         self._entries.insert(index, entry)
         self._starts.insert(index, entry.dst)
         self._index_src(entry)
-        if len(self._entries) > self._peak.value:
-            self._peak.value = len(self._entries)
+        self._note_occupancy()
         if entry.copy_id is not None:
             self._copy_live[entry.copy_id] = \
                 self._copy_live.get(entry.copy_id, 0) + 1
@@ -206,13 +218,33 @@ class CopyTrackingTable:
         del self._entries[index]
         del self._starts[index]
         self._unindex_src(entry)
-        self._removed_bytes.inc(entry.size)
+        self._note_occupancy()
         cid = entry.copy_id
         if cid is not None and cid in self._copy_live:
             count = self._copy_live[cid] - 1
             self._copy_live[cid] = count
             if count <= 0:
                 self._resolved_pending.append((cid, reason))
+
+    def _note_occupancy(self) -> None:
+        """Advance the cycle-end occupancy high-water mark.
+
+        Called after every raw add/remove: the first mutation of a new
+        cycle commits the previous cycle's final length as a peak
+        candidate, then the running end-of-cycle length is refreshed.
+        """
+        if self._clock is None:
+            # Clockless (unit tests drive the table directly): there is
+            # no cycle structure, so keep a per-mutation high-water mark.
+            if len(self._entries) > self._peak_committed:
+                self._peak_committed = len(self._entries)
+            return
+        now = self._clock()
+        if self._peak_cycle is not None and now != self._peak_cycle \
+                and self._cycle_end_len > self._peak_committed:
+            self._peak_committed = self._cycle_end_len
+        self._peak_cycle = now
+        self._cycle_end_len = len(self._entries)
 
     def _flush_resolved(self) -> None:
         """Settle copies whose last entry was removed this operation.
@@ -492,12 +524,21 @@ class CopyTrackingTable:
         Overlapped entries are removed, resized, or split into two
         remnants (which inherit the original entry's copy id).  Returns
         the number of entries affected.
+
+        ``removed_bytes`` counts only the overlap — the bytes that
+        actually leave tracking, never the re-added remnants.  That sum
+        is a property of the untracked byte *set*, so it is identical no
+        matter how a range is trimmed (whole, line by line, in any
+        order); counting whole entry sizes instead would let equal-cycle
+        trim order leak into the stat.
         """
         affected = 0
+        end = addr + size
         for entry in list(self._dest_overlaps(addr, size)):
             affected += 1
+            self._removed_bytes.inc(
+                min(entry.dst_end, end) - max(entry.dst, addr))
             self._remove(entry, reason=reason)
-            end = addr + size
             # Left remnant: [entry.dst, addr)
             if entry.dst < addr:
                 self._add(CttEntry(entry.dst, entry.src, addr - entry.dst,

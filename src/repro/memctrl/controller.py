@@ -54,6 +54,13 @@ class MemoryController:
         self._pending_write_counts: Dict[int, int] = {}
         self._wpq_draining = False
         self._rpq_occupancy = 0
+        # Same-cycle DRAM arbitration: single-access requests issued
+        # during a cycle accumulate here and are granted channel slots
+        # in canonical key order by one rendezvous-phase event (see
+        # dram_request); bank/bus slot assignment must not depend on
+        # the order same-cycle callbacks happened to run.
+        self._dram_pending: list = []
+        self._dram_grant_armed = False
         # Optional repro.obs tracer (set by runtime.attach_tracer) and
         # this controller's trace track name.
         self._trace = None
@@ -104,6 +111,42 @@ class MemoryController:
         self.sim.schedule(1, lambda: pkt.complete(self.sim.now),
                           label="mc-control-ack")
 
+    # ---------------------------------------------------- DRAM arbitration
+    # Canonical same-cycle grant order: reads first (latency-critical,
+    # the standard read-priority policy), then bounce reads, lazy-copy
+    # materializations, bounce writebacks, WPQ drains last.
+    DRAM_RANK_READ = 0
+    DRAM_RANK_BOUNCE = 1
+    DRAM_RANK_MATERIALIZE = 2
+    DRAM_RANK_BOUNCE_WB = 3
+    DRAM_RANK_DRAIN = 4
+
+    def dram_request(self, loc, key, on_grant, extra: int = 0) -> None:
+        """Reserve one channel access through this cycle's arbiter.
+
+        ``on_grant(done)`` is invoked *during the grant event* (same
+        cycle, rendezvous phase) with the access's completion cycle;
+        the caller schedules its own continuation.  ``key`` is the
+        canonical grant order — a (rank, addr, ...) tuple of ints — so
+        that same-cycle requests are granted identically however the
+        tie-break ordered the requesting callbacks.  ``extra`` delays
+        the device arrival (controller static latency, remote hops).
+        """
+        self._dram_pending.append((key, loc, extra, on_grant))
+        if not self._dram_grant_armed:
+            self._dram_grant_armed = True
+            self.sim.schedule(0, self._grant_dram, label="dram-grant",
+                              phase=2)
+
+    def _grant_dram(self) -> None:
+        self._dram_grant_armed = False
+        pending, self._dram_pending = self._dram_pending, []
+        if len(pending) > 1:
+            pending.sort(key=lambda req: req[0])
+        now = self.sim.now
+        for _key, loc, extra, on_grant in pending:
+            on_grant(self.channel.access(loc, now + extra))
+
     # ---------------------------------------------------------- mechanics
     def _service_read_from_memory(self, pkt: Packet,
                                   extra_delay: int = 0) -> None:
@@ -119,13 +162,18 @@ class MemoryController:
             self._read_latency.record(done - self.sim.now)
             return
         loc = self.address_map.decode(pkt.addr)
-        data_ready = self.channel.access(loc, arrival)
-        done = data_ready + params.MC_STATIC_LATENCY_CYCLES
-        pkt.data = self.backing.read_line(pkt.addr)
-        pkt.poisoned = self.backing.line_poisoned(pkt.addr)
-        self._read_latency.record(done - self.sim.now)
-        self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
-                             label="mc-read-done")
+
+        def _granted(data_ready: int) -> None:
+            done = data_ready + params.MC_STATIC_LATENCY_CYCLES
+            pkt.data = self.backing.read_line(pkt.addr)
+            pkt.poisoned = self.backing.line_poisoned(pkt.addr)
+            self._read_latency.record(done - self.sim.now)
+            self.sim.schedule_at(done, lambda: pkt.complete(self.sim.now),
+                                 label="mc-read-done")
+
+        self.dram_request(loc, (self.DRAM_RANK_READ, pkt.addr, pkt.requestor),
+                          _granted,
+                          extra=params.MC_STATIC_LATENCY_CYCLES + extra_delay)
 
     def _accept_write(self, pkt: Packet) -> None:
         """Post a write: apply data, ack the sender, queue the drain.
@@ -192,7 +240,12 @@ class MemoryController:
         if self._trace is not None:
             self._trace.instant("mc", self._track, "wpq-drain-start",
                                 {"wpq": len(self._wpq)})
-        self.sim.schedule(1, self._drain_one_write, label="mc-wpq-drain")
+        # Phase 1: the drain pump is a component arbiter — its
+        # stop/continue decision samples WPQ occupancy, which must
+        # reflect every same-cycle write arrival regardless of the
+        # tie-break (MC2601).
+        self.sim.schedule(1, self._drain_one_write, label="mc-wpq-drain",
+                          phase=1)
 
     def _drain_one_write(self) -> None:
         low = int(self.wpq_entries * self.WPQ_DRAIN_LOW)
@@ -203,10 +256,11 @@ class MemoryController:
         pkt = self._wpq.popleft()
         self._retire_write(pkt)
         loc = self.address_map.decode(pkt.addr)
-        done = self.channel.access(loc, self.sim.now)
         self._write_drains.inc()
-        self.sim.schedule_at(done, self._drain_one_write,
-                             label="mc-wpq-next")
+        self.dram_request(
+            loc, (self.DRAM_RANK_DRAIN, pkt.addr),
+            lambda done: self.sim.schedule_at(done, self._drain_one_write,
+                                              label="mc-wpq-next", phase=1))
 
     def drain_wpq_fully(self) -> None:
         """Flush every buffered write (used when quiescing the system)."""

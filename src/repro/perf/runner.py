@@ -43,6 +43,14 @@ exports one span per point attempt (end reason ok/timeout/crash/
 retried/quarantined) to ``supervisor.<sweep>.spans.json``.  Traced
 sweeps bypass the result cache — a cache hit would skip the simulation,
 and there is no trace without a run.
+
+With ``REPRO_TIE_ORDER=<orders>`` (see :mod:`repro.analysis.simsan`)
+every point runs under a perturbed equal-cycle event order; a comma
+list (or the ``paired`` shorthand) runs each point under *every*
+listed order and diffs the results and full StatGroup trees — any
+divergence is a confirmed same-cycle race (the MC26xx dynamic oracle).
+Tie-order sweeps bypass the result cache for the same reason traced
+sweeps do.
 """
 
 from __future__ import annotations
@@ -105,6 +113,19 @@ def _tracing_requested() -> bool:
     return os.environ.get("REPRO_TRACE", "").strip().lower() not in OFF_TOKENS
 
 
+def _tie_orders() -> List[str]:
+    """Parsed ``REPRO_TIE_ORDER`` (see :mod:`repro.analysis.simsan`).
+
+    Empty when unset/off; the simsan import is deferred behind the env
+    check so normal sweeps never pay for the analysis package.
+    """
+    raw = os.environ.get("REPRO_TIE_ORDER", "").strip().lower()
+    if raw in ("", "0", "off", "none", "false"):
+        return []
+    from repro.analysis import simsan
+    return simsan.tie_order_spec()
+
+
 def _sanitizer():
     """The simsan module when ``REPRO_SIMSAN`` is active, else None.
 
@@ -132,9 +153,23 @@ def _run_point(point: SimPoint) -> Any:
             fn = obs_runtime.traced(fn, point.name)
     san = _sanitizer()
     if san is not None:
-        return san.checked_call(fn, point.args, point.kwargs,
-                                point.name)
-    return fn(*point.args, **point.kwargs)
+        call = (lambda *args, **kwargs:
+                san.checked_call(fn, args, kwargs, point.name))
+    else:
+        call = fn
+    orders = _tie_orders()
+    if len(orders) >= 2:
+        # Paired tie-order mode: run this point under every configured
+        # order and diff results + stat trees (simsan is outermost so
+        # its engine/stats hooks look identical to checked_call's
+        # before/after global snapshots).
+        from repro.analysis import simsan
+        return simsan.paired_tie_call(call, point.args, point.kwargs,
+                                      point.name)
+    if orders:
+        from repro.analysis import simsan
+        return simsan.tie_call(call, point.args, point.kwargs)
+    return call(*point.args, **point.kwargs)
 
 
 def _init_worker() -> None:
@@ -234,8 +269,11 @@ def sim_map(points: Iterable[SimPoint],
         raise ConfigError(f"unknown sweep policy {policy!r}; "
                           f"expected one of {_POLICIES}")
     # A traced sweep must execute every point: serving a result from the
-    # cache would produce no trace file for it.
-    use_cache = cache and not _tracing_requested() \
+    # cache would produce no trace file for it.  A tie-order sweep must
+    # too — a cache hit would skip the perturbed runs the mode exists
+    # to compare (and a perturbed-order result must never be stored
+    # under the canonical key).
+    use_cache = cache and not _tracing_requested() and not _tie_orders() \
         and (store is not None or cache_enabled())
     if use_cache and store is None:
         store = SimCache()

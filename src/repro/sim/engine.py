@@ -9,11 +9,33 @@ light, and easy to reason about in tests.
 Hot-path notes
 --------------
 
-The heap holds ``(when, seq, event)`` tuples rather than bare
-:class:`Event` objects: tuple comparison runs entirely in C (``seq`` is
-unique, so the third element is never compared), where object comparison
-would call :meth:`Event.__lt__` once per sift step — the single largest
-engine overhead at paper-exhibit scale.
+The heap holds ``(when, key, event)`` tuples rather than bare
+:class:`Event` objects: tuple comparison runs entirely in C, where
+object comparison would call :meth:`Event.__lt__` once per sift step —
+the single largest engine overhead at paper-exhibit scale.  By default
+``key`` is the insertion sequence number (unique, so the third element
+is never compared) and equal-timestamp events fire in FIFO order.  A
+*tie-break hook* — installed per instance or as the process default via
+:func:`set_default_tie_break` — maps the sequence number to a different
+key, permuting the pop order of equal-``when`` events while leaving the
+timestamp order untouched.  No simulation result may depend on that
+order; the hook exists so the tie-order sanitizer
+(:mod:`repro.analysis.simsan`, ``REPRO_TIE_ORDER``) can *prove* it by
+running the same config under several permutations.  When two keys
+collide, ``Event.__lt__`` restores the deterministic (when, seq) order.
+
+Same-cycle *phases* are the one ordering the tie-break never touches:
+an event scheduled with ``phase=p`` fires after every same-cycle event
+of a lower phase under any tie-break.  The convention is: phase 0 for
+ordinary component events (completions, deliveries, timers), phase 1
+for *component arbiters* that must observe every same-cycle phase-0
+state change before deciding (the core's issue pump, store-order retry
+polls), phase 2 for *shared rendezvous* that must observe every
+same-cycle request including those issued by phase-1 arbiters (the
+interconnect's grant arbitration, any future cross-shard rendezvous).
+Ordinary sim code never passes ``phase``.  The phase is folded into the integer heap key
+(``phase * 2**40 + key``), so the hot path still compares plain ints; a
+tie-break hook must therefore return values of magnitude below 2**40.
 
 ``run()`` dispatches to one of two loops.  The fast loop assumes no
 watchdog, no profiler, and no tracer, and keeps everything it touches in
@@ -39,22 +61,77 @@ from repro.common.errors import LivelockError, SimulationError
 
 Callback = Callable[[], None]
 
+#: Maps an event's insertion sequence number to its heap tie-break key.
+TieBreak = Callable[[int], int]
+
 #: Queues below this size are never compacted: a handful of dead events
 #: is cheaper to pop through than to rebuild around.
 _COMPACT_MIN_QUEUE = 64
 
+#: Heap-key offset per same-cycle phase.  Tie-break hooks must return
+#: keys with magnitude below this so phases stay totally ordered.
+_PHASE_STRIDE = 1 << 40
+
+#: Process-default tie-break adopted by every Simulator constructed
+#: afterwards.  None means native FIFO (key == seq).  Only entry-point
+#: infrastructure (the perf runner, simsan, tests) installs this —
+#: ambient sim code must never depend on, or even look at, tie order.
+_DEFAULT_TIE_BREAK: Optional[TieBreak] = None
+
+
+def set_default_tie_break(key: Optional[TieBreak]) -> None:
+    """Install ``key`` as the tie-break for new :class:`Simulator`\\ s.
+
+    ``None`` restores the native FIFO order.  Existing simulators are
+    unaffected — use :meth:`Simulator.set_tie_break` to re-key one.
+    """
+    global _DEFAULT_TIE_BREAK
+    _DEFAULT_TIE_BREAK = key
+
+
+def default_tie_break() -> Optional[TieBreak]:
+    """The currently installed process-default tie-break (or None)."""
+    return _DEFAULT_TIE_BREAK
+
+
+#: Process-default event trace hook adopted by every Simulator
+#: constructed afterwards (see :meth:`Simulator.enable_tracing`).  The
+#: tie-order sanitizer installs this to capture the (cycle, label)
+#: event stream of simulators built *inside* a sweep point, where it
+#: has no handle on the instance.  None keeps the fast run() loop.
+_DEFAULT_TRACE_HOOK: Optional[Callable[[str, int], None]] = None
+
+
+def set_default_trace_hook(
+        hook: Optional[Callable[[str, int], None]]) -> None:
+    """Install ``hook`` as the trace hook for new :class:`Simulator`\\ s.
+
+    ``None`` restores untraced construction.  Existing simulators are
+    unaffected — use :meth:`Simulator.enable_tracing` on an instance.
+    """
+    global _DEFAULT_TRACE_HOOK
+    _DEFAULT_TRACE_HOOK = hook
+
+
+def default_trace_hook() -> Optional[Callable[[str, int], None]]:
+    """The currently installed process-default trace hook (or None)."""
+    return _DEFAULT_TRACE_HOOK
+
 
 class Event:
-    """A scheduled callback.  Cancellable; compare by (when, seq)."""
+    """A scheduled callback.  Cancellable; compare by (when, phase, seq)."""
 
-    __slots__ = ("when", "seq", "callback", "cancelled", "label", "_sim")
+    __slots__ = ("when", "seq", "callback", "cancelled", "label", "phase",
+                 "_sim")
 
-    def __init__(self, when: int, seq: int, callback: Callback, label: str = ""):
+    def __init__(self, when: int, seq: int, callback: Callback, label: str = "",
+                 phase: int = 0):
         self.when = when
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self.phase = phase
         # Owning simulator while the event sits in its queue (cleared on
         # pop) so cancel() can keep the live/cancelled counters exact
         # even when called after the event already fired.
@@ -69,7 +146,8 @@ class Event:
                 sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
+        return ((self.when, self.phase, self.seq)
+                < (other.when, other.phase, other.seq))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -79,9 +157,13 @@ class Event:
 class Simulator:
     """Priority-queue event loop with a cycle-granularity clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, tie_break: Optional[TieBreak] = None) -> None:
         self._queue: List[Tuple[int, int, Event]] = []
         self._seq = 0
+        # Equal-timestamp pop order: None keys the heap by insertion
+        # sequence (FIFO); a hook permutes it (see set_default_tie_break).
+        self._tie_break: Optional[TieBreak] = (
+            tie_break if tie_break is not None else _DEFAULT_TIE_BREAK)
         self.now: int = 0
         self._events_fired = 0
         # Cancelled events still sitting in the heap; pending is
@@ -100,31 +182,66 @@ class Simulator:
         # Optional event tracer (see repro.obs.tracer.Tracer): called as
         # hook(label, now) after every fired event.  When None, run()
         # takes the fast loop and the hot path pays nothing.
-        self._trace_hook: Optional[Callable[[str, int], None]] = None
+        self._trace_hook: Optional[Callable[[str, int], None]] = \
+            _DEFAULT_TRACE_HOOK
 
     # ------------------------------------------------------------ schedule
-    def schedule(self, delay: int, callback: Callback, label: str = "") -> Event:
-        """Schedule ``callback`` to run ``delay`` cycles from now."""
+    def schedule(self, delay: int, callback: Callback, label: str = "",
+                 phase: int = 0) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        ``phase`` orders same-cycle dispatch across tie-breaks: a
+        ``phase=1`` event fires after every same-cycle ``phase=0``
+        event no matter which tie-break is installed.  Ordinary sim
+        code never passes it (see the module docstring).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         seq = self._seq
         self._seq = seq + 1
         when = self.now + delay
-        event = Event(when, seq, callback, label)
+        event = Event(when, seq, callback, label, phase)
         event._sim = self
-        heapq.heappush(self._queue, (when, seq, event))
+        tie = self._tie_break
+        key = seq if tie is None else tie(seq)
+        if phase:
+            key += phase * _PHASE_STRIDE
+        heapq.heappush(self._queue, (when, key, event))
         return event
 
-    def schedule_at(self, when: int, callback: Callback, label: str = "") -> Event:
+    def schedule_at(self, when: int, callback: Callback, label: str = "",
+                    phase: int = 0) -> Event:
         """Schedule ``callback`` at absolute cycle ``when`` (>= now)."""
         if when < self.now:
             raise SimulationError(f"cannot schedule at {when}, now is {self.now}")
         seq = self._seq
         self._seq = seq + 1
-        event = Event(when, seq, callback, label)
+        event = Event(when, seq, callback, label, phase)
         event._sim = self
-        heapq.heappush(self._queue, (when, seq, event))
+        tie = self._tie_break
+        key = seq if tie is None else tie(seq)
+        if phase:
+            key += phase * _PHASE_STRIDE
+        heapq.heappush(self._queue, (when, key, event))
         return event
+
+    def set_tie_break(self, key: Optional[TieBreak]) -> None:
+        """Re-key equal-timestamp ordering for this simulator.
+
+        Applies to queued events too: the pending heap is rebuilt with
+        the new keys, so a mid-run switch reorders any not-yet-fired
+        ties as well.  ``None`` restores FIFO (key == seq).
+        """
+        self._tie_break = key
+        queue = self._queue
+        if queue:
+            queue[:] = [
+                (when,
+                 (event.seq if key is None else key(event.seq))
+                 + event.phase * _PHASE_STRIDE,
+                 event)
+                for when, _key, event in queue]
+            heapq.heapify(queue)
 
     # ----------------------------------------------------------- cancelled
     def _note_cancel(self) -> None:

@@ -18,6 +18,25 @@ from typing import Callable, Dict, List, Optional
 #: deterministic for a given stat name and observation sequence.
 DEFAULT_MAX_SAMPLES = 4096
 
+#: Optional observer invoked with every :class:`StatGroup` at
+#: construction time.  Only entry-point infrastructure installs this —
+#: the tie-order sanitizer (:mod:`repro.analysis.simsan`) uses it to
+#: find the stat trees a sim point built so it can compare them across
+#: event-order perturbations.  ``None`` (the default) costs one branch.
+_construction_hook: Optional[Callable[["StatGroup"], None]] = None
+
+
+def set_construction_hook(
+        hook: Optional[Callable[["StatGroup"], None]]) -> None:
+    """Install (or with ``None`` remove) the StatGroup creation observer."""
+    global _construction_hook
+    _construction_hook = hook
+
+
+def construction_hook() -> Optional[Callable[["StatGroup"], None]]:
+    """The currently installed creation observer (or ``None``)."""
+    return _construction_hook
+
 
 class Counter:
     """A monotonically accumulating scalar statistic."""
@@ -147,6 +166,8 @@ class StatGroup:
         self.distributions: Dict[str, Distribution] = {}
         self.formulas: Dict[str, Formula] = {}
         self.children: Dict[str, "StatGroup"] = {}
+        if _construction_hook is not None:
+            _construction_hook(self)
 
     def counter(self, name: str, desc: str = "") -> Counter:
         """Get or create a counter named ``name``."""

@@ -1,0 +1,101 @@
+"""Deliberately planted schedule-order races.
+
+This module is the shared fixture for the MC26xx two-sided oracle
+check: the same planted race must be caught *statically* by the
+analyzer (``MC2601``/``MC2602``/``MC2603`` in ``test_raceorder.py``)
+and *dynamically* by the ``REPRO_TIE_ORDER`` paired-order sanitizer
+(``test_tie_order.py``).  It is excluded from lint sweeps
+(``--exclude tests/unit/raceorder_plants.py`` in CI and the Makefile)
+precisely because its findings are intentional.
+
+Sim-point functions are module-level so they pickle into fork workers.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatGroup
+
+
+class PlantedSameCycleRacer:
+    """Plant 1 (MC2601) — two same-cycle phase-0 handlers racing.
+
+    Both handlers are schedulable at the same cycle in the same phase;
+    ``_writer_a`` and ``_writer_b`` last-writer-win on ``_slot`` and
+    interleave appends into ``_log``, so the final state depends on the
+    engine tie-break.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._slot = 0
+        self._log = []
+
+    def start(self) -> None:
+        self.sim.schedule(1, self._writer_a, label="plant-writer-a")
+        self.sim.schedule(1, self._writer_b, label="plant-writer-b")
+
+    def _writer_a(self) -> None:
+        self._slot = 1
+        self._log.append(self._slot)
+
+    def _writer_b(self) -> None:
+        self._slot = 2
+        self._log.append(self._slot)
+
+
+class PlantedNowKeyedTable:
+    """Plant 2 (MC2602) — ``sim.now``-keyed dict whose order escapes.
+
+    Same-cycle inserts collide on the bare ``now`` key; ``drain``
+    iterates the table unsorted, leaking dispatch order.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._arrivals = {}
+
+    def record(self, value) -> None:
+        self._arrivals[self.sim.now] = value
+
+    def drain(self):
+        return [value for _when, value in self._arrivals.items()]
+
+
+def planted_stat_rmw(stats: StatGroup) -> float:
+    """Plant 3 (MC2603) — non-commutative RMW of a stat ``.value``."""
+    doubler = stats.counter("doubler", "order-dependent accumulator")
+    doubler.value *= 2
+    return doubler.value
+
+
+def planted_tie_race():
+    """The dynamic plant: a sim point whose result is tie-order dependent.
+
+    Runs Plant 1 to completion and folds the racy state into both the
+    returned dict and a StatGroup counter, so the paired-order sanitizer
+    sees the divergence through both channels it diffs.
+    """
+    sim = Simulator()
+    stats = StatGroup("plant")
+    winner = stats.counter("winner", "whichever writer the tie-break ran last")
+    racer = PlantedSameCycleRacer(sim)
+    racer.start()
+    sim.run()
+    winner.inc(racer._slot)
+    return {"winner": winner.value, "order": list(racer._log)}
+
+
+def planted_clean_point(n: int = 3):
+    """Control: a same-cycle-heavy point that is tie-order independent."""
+    sim = Simulator()
+    stats = StatGroup("plant")
+    total = stats.counter("total", "commutative accumulation")
+
+    def bump(amount):
+        def fire():
+            total.inc(amount)
+        return fire
+
+    for i in range(n):
+        sim.schedule(1, bump(i + 1), label=f"plant-bump-{i}")
+    sim.run()
+    return {"total": total.value}

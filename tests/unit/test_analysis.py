@@ -266,17 +266,29 @@ def test_malformed_baseline_is_config_error(tmp_path):
 def test_checked_in_baseline_is_near_empty_and_justified():
     """Policy: every grandfathered entry carries a real justification.
 
-    The baseline must stay near-empty; the only sanctioned exception so
-    far is the single wall-clock read in repro.perf.hostclock.
+    The baseline must stay near-empty; the sanctioned exceptions are the
+    single wall-clock read in repro.perf.hostclock and the MC2601 pairs
+    in the (MC)² controller's bounce/materialize chains, which are
+    serialized by the per-channel grant arbiter and verified
+    order-independent by the paired tie-order sanitizer (the entries'
+    justifications record that — see docs/ANALYSIS.md).  MC26xx entries
+    must cite that dynamic verification; nothing else may appear.
     """
     path = SRC_ROOT.parent / "analysis-baseline.json"
     entries = baseline_mod.load(str(path))
-    assert len(entries) <= 1
+    sanctioned = {
+        ("MC2001", "src/repro/perf/hostclock.py"),
+        ("MC2601", "src/repro/mcsquare/controller.py"),
+    }
+    assert len(entries) <= 12
     for entry in entries.values():
         assert entry["justification"].strip(), (
             f"baselined finding without justification: {entry}")
-        assert entry["path"] == "src/repro/perf/hostclock.py"
-        assert entry["rule"] == "MC2001"
+        assert (entry["rule"], entry["path"]) in sanctioned, (
+            f"unsanctioned baseline entry: {entry['rule']} {entry['path']}")
+        if entry["rule"].startswith("MC26"):
+            assert "REPRO_TIE_ORDER" in entry["justification"], (
+                "MC26xx baseline entry lacks recorded dynamic verification")
 
 
 def test_fingerprints_ignore_path_absoluteness(tmp_path):

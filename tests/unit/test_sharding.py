@@ -1,0 +1,142 @@
+"""Tests for the shard-locality report (``mc2-analyze --sharding-report``).
+
+Synthetic fixtures pin the role assignment and receiver-typing rules;
+the whole-repo run pins the acceptance bar (fewer than 10 unknowns) and
+the load-bearing classifications the per-channel engine split depends
+on: the DRAM grant arbiter state, the interconnect, and the remote-WPQ
+probe must read as cross-shard with named rendezvous points.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import engine, sharding
+from repro.analysis.cli import main as cli_main
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src" / "repro")
+
+
+def classify_source(tmp_path, source, name="repro/memctrl/fixture.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (tmp_path / "repro" / "memctrl" / "__init__.py").write_text("")
+    path.write_text(source)
+    files = engine.collect_files([str(tmp_path)])
+    return sharding.classify(engine.parse_modules(files))
+
+
+SHARDED = """\
+class Channel:
+    def __init__(self):
+        self.busy = 0
+
+    def access(self, when):
+        self.busy = when
+
+
+class Controller:
+    def __init__(self, sim, channel_id):
+        self.sim = sim
+        self.channel_id = channel_id
+        self.channel = Channel()
+        self.queue = []
+
+    def receive(self, pkt):
+        self.queue.append(pkt)
+        self.channel.access(self.sim.now)
+
+    def forward(self, pkt):
+        peer = self._owner_of(pkt)
+        peer.queue.append(pkt)
+
+    def _owner_of(self, pkt):
+        return self
+
+
+class Fabric:
+    def __init__(self, sim, controllers):
+        self.sim = sim
+        self.controllers = controllers
+
+    def send(self, pkt):
+        peer = self.controllers[0]
+        peer.queue.append(pkt)
+"""
+
+
+def test_channel_wiring_seeds_sharded_role(tmp_path):
+    report = classify_source(tmp_path, SHARDED)
+    roles = {qual.rsplit(".", 1)[-1]: info.role
+             for qual, info in report.classes.items()}
+    assert roles["Controller"] == sharding.ROLE_SHARDED
+    assert roles["Channel"] == sharding.ROLE_OWNED
+    assert roles["Fabric"] == sharding.ROLE_SHARED
+
+
+def test_cross_owner_access_marks_state_cross_shard(tmp_path):
+    report = classify_source(tmp_path, SHARDED)
+    controller = next(info for qual, info in report.classes.items()
+                      if qual.endswith("Controller"))
+    # Reached synchronously through the _owner_of() accessor idiom
+    # from a sharded peer: provably cross-shard.
+    assert controller.attrs["queue"].locality == sharding.CLASS_CROSS
+    # Self-only state of the owned sub-component stays local.
+    channel = next(info for qual, info in report.classes.items()
+                   if qual.endswith("Channel"))
+    assert channel.attrs["busy"].locality == sharding.CLASS_LOCAL
+    # The foreign access site is recorded as a rendezvous point, and
+    # shared-fabric deliveries (message passing) are not: only the
+    # synchronous peer access appears.
+    targets = [r.target for r in report.rendezvous]
+    assert "Controller.queue" in targets
+    assert len(targets) == 1
+
+
+# ------------------------------------------------------------- whole repo
+def _repo_report():
+    files = engine.collect_files([REPO_SRC])
+    return sharding.classify(engine.parse_modules(files))
+
+
+def test_repo_unknown_bucket_is_small():
+    report = _repo_report()
+    counts = report.counts()
+    assert counts[sharding.CLASS_UNKNOWN] < 10
+    assert counts[sharding.CLASS_LOCAL] > 0
+    assert counts[sharding.CLASS_CROSS] > 0
+    # Every unknown is named, so the remainder is reviewable.
+    assert len(report.unknown()) == counts[sharding.CLASS_UNKNOWN]
+
+
+def test_repo_classifies_load_bearing_state():
+    report = _repo_report()
+    mc = next(info for qual, info in report.classes.items()
+              if qual.endswith("memctrl.controller.MemoryController"))
+    # The same-cycle DRAM grant arbiter accepts requests from the
+    # (MC)^2 bounce/materialize paths of *other* channels' owners:
+    # cross-shard by design, the rendezvous the report must surface.
+    assert mc.attrs["_dram_pending"].locality == sharding.CLASS_CROSS
+    # Remote WPQ fullness probes make the WPQ visible across shards.
+    assert mc.attrs["_wpq"].locality == sharding.CLASS_CROSS
+    xbar = next(info for qual, info in report.classes.items()
+                if qual.endswith("interconnect.bus.Interconnect"))
+    assert all(info.locality == sharding.CLASS_CROSS
+               for info in xbar.attrs.values())
+    assert any("dram_request" in r.via or "MemoryController" in r.target
+               for r in report.rendezvous)
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_sharding_report_text_and_json(tmp_path, capsys):
+    assert cli_main([REPO_SRC, "--sharding-report"]) == 0
+    text = capsys.readouterr().out
+    assert "shard-locality report" in text
+    assert "cross-shard" in text
+
+    out = tmp_path / "sharding.json"
+    assert cli_main([REPO_SRC, "--sharding-report", "--format", "json",
+                     "--output", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert set(payload) == {"classes", "rendezvous", "summary", "unknown"}
+    assert payload["summary"]["unknown"] < 10

@@ -1,0 +1,216 @@
+"""Tests for the tie-order perturbation sanitizer (``REPRO_TIE_ORDER``).
+
+The engine's equal-cycle dispatch order is not part of the simulator's
+semantics; these tests cover the spec parsing, the per-order sub-run
+capture (StatGroup trees + event streams), the divergence diagnosis,
+the perf-runner wiring (paired dispatch, cache bypass), and the
+two-sided oracle over the planted race in ``raceorder_plants.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import simsan
+from repro.common.errors import ConfigError, SanitizerError
+from repro.perf.cache import MISS, SimCache, point_key
+from repro.perf.runner import SimPoint, _tie_orders, sim_map
+from repro.sim import engine as sim_engine
+from repro.sim import stats as sim_stats
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatGroup
+
+from . import raceorder_plants as plants
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_defaults():
+    """Every test starts and ends with pristine engine/stats defaults."""
+    yield
+    sim_engine.set_default_tie_break(None)
+    sim_engine.set_default_trace_hook(None)
+    sim_stats.set_construction_hook(None)
+
+
+# ------------------------------------------------------------------ parsing
+def test_spec_off_values(monkeypatch):
+    for raw in ("", "0", "off", "none", "false", "OFF"):
+        monkeypatch.setenv("REPRO_TIE_ORDER", raw)
+        assert simsan.tie_order_spec() == []
+        assert _tie_orders() == []
+    monkeypatch.delenv("REPRO_TIE_ORDER")
+    assert simsan.tie_order_spec() == []
+
+
+def test_spec_single_paired_and_list(monkeypatch):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "lifo")
+    assert simsan.tie_order_spec() == ["lifo"]
+    monkeypatch.setenv("REPRO_TIE_ORDER", "paired")
+    assert simsan.tie_order_spec() == ["fifo", "lifo"]
+    monkeypatch.setenv("REPRO_TIE_ORDER", " fifo , lifo , seeded:7 ")
+    assert simsan.tie_order_spec() == ["fifo", "lifo", "seeded:7"]
+
+
+def test_spec_rejects_malformed(monkeypatch):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "bogus")
+    with pytest.raises(ConfigError):
+        simsan.tie_order_spec()
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,seeded:xyz")
+    with pytest.raises(ConfigError):
+        simsan.tie_order_spec()
+
+
+def test_tie_break_for_shapes():
+    assert simsan.tie_break_for("fifo") is None
+    lifo = simsan.tie_break_for("lifo")
+    assert [lifo(s) for s in (0, 1, 2)] == [0, -1, -2]
+    s3 = simsan.tie_break_for("seeded:3")
+    s4 = simsan.tie_break_for("seeded:4")
+    keys = [s3(s) for s in range(64)]
+    assert len(set(keys)) == 64  # injective over a small window
+    assert any(s3(s) != s4(s) for s in range(8))
+    # Keys must stay below the engine's phase stride so phases keep
+    # strict priority under any order.
+    assert all(0 <= k < sim_engine._PHASE_STRIDE for k in keys)
+
+
+# ------------------------------------------------------ engine/stats hooks
+def test_default_trace_hook_adopted_by_new_simulators():
+    seen = []
+    sim_engine.set_default_trace_hook(lambda label, now: seen.append((now,
+                                                                      label)))
+    sim = Simulator()
+    sim.schedule(2, lambda: None, label="tick")
+    sim.run()
+    assert seen == [(2, "tick")]
+    sim_engine.set_default_trace_hook(None)
+    assert Simulator()._trace_hook is None
+
+
+def test_stat_construction_hook_sees_children():
+    captured = []
+    sim_stats.set_construction_hook(captured.append)
+    root = StatGroup("root")
+    child = root.group("child")
+    sim_stats.set_construction_hook(None)
+    assert captured == [root, child]
+    StatGroup("after")  # hook removed: not captured
+    assert len(captured) == 2
+
+
+# ------------------------------------------------------------- divergence
+def test_first_divergence_ignores_pure_permutation():
+    a = [(1, "x"), (1, "y"), (3, "z")]
+    b = [(1, "y"), (1, "x"), (3, "z")]
+    assert simsan._first_divergence(a, b) is None
+
+
+def test_first_divergence_names_cycle_and_labels():
+    a = [(1, "x"), (2, "p"), (2, "q")]
+    b = [(1, "x"), (2, "p"), (2, "r")]
+    cycle, only_a, only_b = simsan._first_divergence(a, b)
+    assert (cycle, only_a, only_b) == (2, ["q"], ["r"])
+    # One stream ends early: the tail cycle is the divergence point.
+    cycle, only_a, only_b = simsan._first_divergence(a, a[:1])
+    assert cycle == 2 and only_a == ["p", "q"] and only_b == []
+
+
+def test_first_diff_walks_nested_structures():
+    a = {"t": {"counters": {"c": {"value": 1}}}, "list": [1, 2]}
+    b = {"t": {"counters": {"c": {"value": 2}}}, "list": [1, 2]}
+    path, left, right = simsan._first_diff(a, b)
+    assert path == "$.t.counters.c.value" and (left, right) == (1, 2)
+    assert simsan._first_diff(a, a) is None
+
+
+# ----------------------------------------------------------- paired calls
+def test_paired_tie_call_passes_clean_point(monkeypatch):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,lifo,seeded:7")
+    result = simsan.paired_tie_call(plants.planted_clean_point, (), {},
+                                    "plants.clean")
+    assert result == {"total": 6.0}
+
+
+def test_paired_tie_call_catches_planted_race(monkeypatch):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,lifo")
+    with pytest.raises(SanitizerError) as excinfo:
+        simsan.paired_tie_call(plants.planted_tie_race, (), {},
+                               "plants.tie_race")
+    message = str(excinfo.value)
+    assert "tie-order" in message
+    assert "fifo" in message and "lifo" in message
+    assert "MC26" in message
+    # The capture hooks never leak past the call, even on divergence.
+    assert sim_engine.default_tie_break() is None
+    assert sim_engine.default_trace_hook() is None
+    assert sim_stats.construction_hook() is None
+
+
+def test_paired_tie_call_warn_mode_continues(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,lifo")
+    monkeypatch.setenv("REPRO_SIMSAN", "warn")
+    result = simsan.paired_tie_call(plants.planted_tie_race, (), {},
+                                    "plants.tie_race")
+    assert result["winner"] in (1.0, 2.0)  # first order's answer returned
+    assert "tie-order" in capsys.readouterr().err
+
+
+def test_tie_run_trees_bit_identical_for_clean_point():
+    runs = [simsan._tie_run(order, plants.planted_clean_point, (), {})
+            for order in ("fifo", "lifo", "seeded:3")]
+    trees = [json.dumps(run["trees"], sort_keys=True) for run in runs]
+    assert trees[0] == trees[1] == trees[2]
+    assert runs[0]["result"] == runs[1]["result"] == runs[2]["result"]
+    # The plant point builds exactly one root StatGroup.
+    assert len(runs[0]["trees"]) == 1
+    assert runs[0]["trees"][0]["name"] == "plant"
+
+
+def test_divergence_artifact_written_when_tracing(monkeypatch, tmp_path):
+    from repro.obs import runtime as obs_runtime
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,lifo")
+    monkeypatch.setenv("REPRO_SIMSAN", "warn")
+    assert obs_runtime.configure_from_spec("on", out_dir=str(tmp_path))
+    try:
+        simsan.paired_tie_call(plants.planted_tie_race, (), {},
+                               "plants.tie_race")
+    finally:
+        obs_runtime.unconfigure()
+    artifacts = list(tmp_path.glob("tie-divergence.*.json"))
+    assert len(artifacts) == 1
+    payload = json.loads(artifacts[0].read_text())
+    assert payload["orders"] == ["fifo", "lifo"]
+    assert payload["problems"]
+
+
+# ---------------------------------------------------------- runner wiring
+def test_sim_map_paired_catches_race(monkeypatch):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,lifo")
+    with pytest.raises(SanitizerError):
+        sim_map([SimPoint(plants.planted_tie_race)], jobs=1, cache=False)
+
+
+def test_sim_map_paired_clean_point_matches_plain_run(monkeypatch):
+    plain = sim_map([SimPoint(plants.planted_clean_point, (4,))], jobs=1,
+                    cache=False)
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,lifo,seeded:9")
+    paired = sim_map([SimPoint(plants.planted_clean_point, (4,))], jobs=1,
+                     cache=False)
+    assert paired == plain == [{"total": 10.0}]
+
+
+def test_sim_map_single_order_runs_and_restores(monkeypatch):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "lifo")
+    result = sim_map([SimPoint(plants.planted_clean_point, (2,))], jobs=1,
+                     cache=False)
+    assert result == [{"total": 3.0}]
+    assert sim_engine.default_tie_break() is None
+
+
+def test_tie_order_sweep_bypasses_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TIE_ORDER", "fifo,lifo")
+    store = SimCache(tmp_path)
+    point = SimPoint(plants.planted_clean_point, (2,))
+    sim_map([point], jobs=1, store=store)
+    key = point_key(point.name, point.args, point.kwargs, "quick")
+    assert store.get(key) is MISS  # nothing stored: the sweep ran uncached

@@ -23,6 +23,28 @@ class TestConversions:
     def test_custom_clock(self):
         assert units.ns_to_cycles(1.0, clock_ghz=2.0) == 2
 
+    def test_exact_boundary_no_float_inflation(self):
+        # 0.1 * 30.0 floats to 3.0000000000000004; the exact product is
+        # 3 cycles and must not ceil to 4.
+        assert units.ns_to_cycles(0.1, clock_ghz=30.0) == 3
+        # 0.3 * 10.0 floats to 2.9999999999999996; still exactly 3.
+        assert units.ns_to_cycles(0.3, clock_ghz=10.0) == 3
+        # 0.7 * 10.0 floats low (6.999...); must still be 7, not 7+1
+        # from a naive int()+1.
+        assert units.ns_to_cycles(0.7, clock_ghz=10.0) == 7
+
+    def test_fractional_boundary_rounds_up_once(self):
+        # Just past a boundary rounds up by exactly one cycle.
+        assert units.ns_to_cycles(0.2500000001) == 2
+        assert units.ns_to_cycles(0.11, clock_ghz=30.0) == 4
+
+    def test_integer_inputs(self):
+        assert units.ns_to_cycles(3) == 12
+        assert units.ns_to_cycles(5, clock_ghz=3) == 15
+
+    def test_zero(self):
+        assert units.ns_to_cycles(0.0) == 0
+
 
 class TestAlignment:
     def test_align_down(self):
