@@ -9,11 +9,14 @@ all: analyze test
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Regenerate every paper exhibit (quick scale).  REPRO_JOBS sets the
-# sweep worker count; results/.simcache memoizes unchanged points
+# Regenerate every paper exhibit (quick scale), then enforce the
+# events/sec floors (engine, fig12, fig13) against
+# benchmarks/bench-baseline.json.  REPRO_JOBS sets the sweep worker
+# count; results/.simcache memoizes unchanged points
 # (REPRO_SIMCACHE=off to disable).
 bench:
 	$(PYTHON) -m pytest benchmarks -x -q -p no:cacheprovider
+	$(PYTHON) -m repro.perf gate
 
 # Paper-sized parameters (slow).
 bench-full:

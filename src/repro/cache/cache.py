@@ -66,6 +66,21 @@ class Cache:
             lambda: (self.hits.value / (self.hits.value + self.misses.value)
                      if (self.hits.value + self.misses.value) else 0.0))
 
+    @property
+    def policy(self) -> "ReplacementPolicy":
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: "ReplacementPolicy") -> None:
+        # Cache the per-hit callback (or None when the policy opted out
+        # via ReplacementPolicy.tracks_touch) so the lookup fast path
+        # skips a no-op Python call on the default LRU configuration.
+        # A setter, not an __init__ assignment, because tests swap the
+        # policy on a live cache.
+        self._policy = policy
+        self._touch = (policy.on_touch
+                       if getattr(policy, "tracks_touch", True) else None)
+
     # ------------------------------------------------------------- lookup
     def lookup(self, addr: int, now: int, touch: bool = True
                ) -> Optional[CacheLine]:
@@ -74,7 +89,8 @@ class Cache:
         line = self._sets[(line_addr >> _LINE_SHIFT) % self.num_sets].get(line_addr)
         if line is not None and touch:
             line.last_used = now
-            self.policy.on_touch(line)
+            if self._touch is not None:
+                self._touch(line)
         return line
 
     def probe(self, addr: int) -> bool:
@@ -154,7 +170,8 @@ class Cache:
         if line is None:
             return False
         line.last_used = now
-        self.policy.on_touch(line)
+        if self._touch is not None:
+            self._touch(line)
         offset = addr - line.addr
         if offset + len(data) > CACHELINE_SIZE:
             raise ConfigError("store crosses a cacheline boundary")
@@ -169,7 +186,8 @@ class Cache:
         if line is None:
             return None
         line.last_used = now
-        self.policy.on_touch(line)
+        if self._touch is not None:
+            self._touch(line)
         offset = addr - line.addr
         if offset + size > CACHELINE_SIZE:
             raise ConfigError("load crosses a cacheline boundary")

@@ -19,6 +19,11 @@ class ReplacementPolicy:
     """Interface: track per-line state, choose a victim address."""
 
     name = "abstract"
+    #: False lets the cache skip the per-hit on_touch call entirely —
+    #: ``line.last_used`` is always stamped by the cache itself, so
+    #: policies that only need recency (LRU, random) opt out of the
+    #: callback on the hottest path in the repo.
+    tracks_touch = True
 
     def on_touch(self, line) -> None:
         """A hit touched ``line``."""
@@ -37,6 +42,7 @@ class LruPolicy(ReplacementPolicy):
     """Least-recently-used (the default; matches the paper's setup)."""
 
     name = "lru"
+    tracks_touch = False
 
     def on_touch(self, line) -> None:
         pass  # Cache already stamps line.last_used
@@ -52,6 +58,7 @@ class RandomPolicy(ReplacementPolicy):
     """Pseudo-random victim (deterministic: hash of address and time)."""
 
     name = "random"
+    tracks_touch = False
 
     def on_touch(self, line) -> None:
         pass

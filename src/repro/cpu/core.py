@@ -134,17 +134,26 @@ class Core:
 
     def _pump(self) -> None:
         """Issue as many ops as resources allow at the current cycle."""
+        # Loop-invariant bindings (the mutable gates — _awaiting, _fence,
+        # _serializing, _pending_op — are re-read each iteration because
+        # _issue flips them mid-loop).
+        window = self._window
+        rob = self.rob_entries
+        sb_limit = self.store_buffer_entries
+        sb_kinds = self._SB_KINDS
+        sim = self.sim
         while True:
             if self._awaiting is not None:
                 self._note_stall()
                 return
-            if self._fence is not None and self._fence.completed_at is None:
+            fence = self._fence
+            if fence is not None and fence.completed_at is None:
                 return  # fence blocks younger ops entirely
-            if self._serializing is not None \
-                    and self._serializing.completed_at is None:
+            serializing = self._serializing
+            if serializing is not None and serializing.completed_at is None:
                 self._note_stall()
                 return  # kernel bulk copy blocks younger ops
-            if len(self._window) >= self.rob_entries:
+            if len(window) >= rob:
                 self._note_stall()
                 return
             op = self._pending_op or self._pull()
@@ -152,12 +161,11 @@ class Core:
                 self._maybe_finish()
                 return
             self._pending_op = op
-            if op.kind in self._SB_KINDS and self._sb_used >= \
-                    self.store_buffer_entries:
-                self.sb_full_stalls.inc()
+            if op.kind in sb_kinds and self._sb_used >= sb_limit:
+                self.sb_full_stalls.value += 1
                 self._note_stall()
                 return
-            now = self.sim.now
+            now = sim.now
             if self._next_issue_at > now:
                 self._schedule_pump(self._next_issue_at - now)
                 return

@@ -56,14 +56,14 @@ class DramChannel:
         if bank.open_row is None:
             device = params.DRAM_ROW_MISS_CYCLES
             occupancy = device  # activation blocks the bank
-            self._row_misses.inc()
+            self._row_misses.value += 1
             kind = "miss"
         elif bank.open_row == loc.row:
             device = params.DRAM_ROW_HIT_CYCLES
             # Back-to-back CAS to an open row pipeline at tCCD: the bank
             # accepts the next column command after roughly one burst.
             occupancy = params.DRAM_BURST_CYCLES
-            self._row_hits.inc()
+            self._row_hits.value += 1
             kind = "hit"
         else:
             device = params.DRAM_ROW_CONFLICT_CYCLES
@@ -73,7 +73,7 @@ class DramChannel:
             # batching shows up as reduced *occupancy* (throughput) while
             # each conflicting access still pays the full latency.
             occupancy = device // 4
-            self._row_conflicts.inc()
+            self._row_conflicts.value += 1
             kind = "conflict"
         bank.open_row = loc.row
 
@@ -83,8 +83,8 @@ class DramChannel:
         done = data_ready + params.DRAM_BURST_CYCLES
         self.bus_free_at = done
         bank.ready_at = start + occupancy
-        self._busy_cycles.inc(params.DRAM_BURST_CYCLES)
-        self._accesses.inc()
+        self._busy_cycles.value += params.DRAM_BURST_CYCLES
+        self._accesses.value += 1
         if self._trace is not None:
             self._trace.complete("dram", self._track, "access", start, done,
                                  {"bank": loc.bank, "row": loc.row,

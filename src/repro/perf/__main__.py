@@ -31,7 +31,8 @@ from repro.perf.cache import SimCache, repo_root
 BASELINE_PATH = repo_root() / "benchmarks" / "bench-baseline.json"
 
 #: The machine-normalized metrics the perf gate enforces.
-GATED_METRICS = ("engine_per_calibration_op", "fig12_per_calibration_op")
+GATED_METRICS = ("engine_per_calibration_op", "fig12_per_calibration_op",
+                 "fig13_per_calibration_op")
 
 
 def _measure(args) -> dict:
@@ -49,7 +50,37 @@ def _cmd_micro(args) -> int:
     if not args.no_record:
         record_engine(numbers)
         print("\nrecorded into results/BENCH_sim.json")
+    if args.profile:
+        _write_profile_report(record_costs=not args.no_record)
     return 0
+
+
+def _write_profile_report(record_costs: bool = True) -> None:
+    """Profile one fig12-style point; print + archive the top-20 table.
+
+    Runs separately from the measured numbers above — attaching the
+    per-label cost profiler slows the engine, so it must never share a
+    run with the events/sec that feed the gate.  Always writes
+    ``results/PROFILE_micro.txt`` (the CI artifact); the raw per-label
+    histogram additionally lands in ``BENCH_sim.json`` unless
+    ``--no-record``.
+    """
+    from repro.perf.microbench import seq_access_stats_point
+    from repro.perf.profile import (format_top_labels, profile_report_path,
+                                    record_label_costs)
+
+    point = seq_access_stats_point(with_stats=False, profiled=True)
+    costs = point["label_costs"]
+    report = format_top_labels(costs, limit=20)
+    print(f"\ntop labels by cumulative callback time "
+          f"(profiled fig12 point, {point['events']} events):")
+    print(report)
+    if record_costs:
+        record_label_costs(costs)
+    path = profile_report_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report + "\n", encoding="utf-8")
+    print(f"\nprofile report written to {path}")
 
 
 def _cmd_gate(args) -> int:
@@ -173,6 +204,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_measure_args(micro)
     micro.add_argument("--no-record", action="store_true",
                        help="print only; do not touch BENCH_sim.json")
+    micro.add_argument("--profile", action="store_true",
+                       help="also profile a fig12 point and emit a "
+                            "top-20 cumulative-time label report "
+                            "(results/PROFILE_micro.txt)")
 
     gate = sub.add_parser("gate", help="fail if events/sec regressed")
     _add_measure_args(gate)

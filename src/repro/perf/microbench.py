@@ -8,7 +8,10 @@ Two measurements, both recorded into ``BENCH_sim.json``:
 * :func:`fig12_point` — one representative exhibit point (sequential
   destination access under (MC)², the hottest benchmark family), whose
   events/sec reflects the end-to-end hot path: engine + cache hierarchy
-  + controllers.
+  + controllers;
+* :func:`fig13_point` — the random-access counterpart (a pointer chase
+  through the copied buffer), covering the cache-miss-heavy locality
+  regime the sequential point never exercises.
 
 :func:`calibrate_ops_per_sec` runs a fixed pure-Python loop so CI can
 compare events/sec *ratios* across machines of different speeds: the
@@ -72,11 +75,27 @@ def fig12_point(buffer_size: int = 256 * KB,
     }
 
 
+def fig13_point(buffer_size: int = 256 * KB,
+                fraction: float = 0.25) -> Dict[str, float]:
+    """Time one fig13-style point; events/sec of the pointer chase."""
+    result = rand_access_stats_point(buffer_size=buffer_size,
+                                     fraction=fraction, with_stats=False,
+                                     timed=True)
+    return {
+        "events": result["events"],
+        "cycles": result["cycles"],
+        "seconds": result["seconds"],
+        "events_per_sec": (result["events"] / result["seconds"]
+                           if result["seconds"] > 0 else 0.0),
+    }
+
+
 def seq_access_stats_point(buffer_size: int = 64 * KB,
                            fraction: float = 0.5,
                            engine_name: str = "mcsquare",
                            with_stats: bool = True,
-                           timed: bool = False) -> Dict[str, Any]:
+                           timed: bool = False,
+                           profiled: bool = False) -> Dict[str, Any]:
     """Run the fig12 access pattern, returning counters (and stats).
 
     A copy of the :func:`~repro.workloads.micro.access
@@ -96,6 +115,9 @@ def seq_access_stats_point(buffer_size: int = 64 * KB,
     config: SystemConfig = ACCESS_CONFIG
     system = System(config)
     engine = make_engine(engine_name, system)
+    if profiled:
+        from repro.perf.profile import profile_simulator
+        profile_simulator(system.sim)
     src = system.alloc(buffer_size + 4096, align=4096) + 16
     dst = system.alloc(buffer_size + 4096, align=4096)
     fill_pattern(system, src, buffer_size)
@@ -111,6 +133,64 @@ def seq_access_stats_point(buffer_size: int = 64 * KB,
             yield from engine.read_ops(pos, 8)
             yield ops.compute(1)
             pos += CACHELINE_SIZE
+        yield recorder.end()
+
+    start = host_seconds() if timed else 0.0
+    system.run_program(program())
+    system.drain()
+    seconds = (host_seconds() - start) if timed else 0.0
+    result: Dict[str, Any] = {
+        "cycles": recorder.samples[0],
+        "events": system.sim.events_fired,
+        "seconds": seconds,
+    }
+    if with_stats:
+        result["stats"] = system.stats.flatten()
+    if profiled:
+        result["label_costs"] = system.sim.label_costs()
+    return result
+
+
+def rand_access_stats_point(buffer_size: int = 64 * KB,
+                            fraction: float = 0.25,
+                            engine_name: str = "mcsquare",
+                            with_stats: bool = True,
+                            timed: bool = False,
+                            seed: int = 42) -> Dict[str, Any]:
+    """Run the fig13 access pattern, returning counters (and stats).
+
+    The random-access sibling of :func:`seq_access_stats_point`: copy
+    the buffer, then pointer-chase ``fraction`` of its 8-byte elements
+    through blocking loads (each address depends on the previous
+    value).  Module-level and picklable for the same reasons.
+    """
+    import struct
+
+    from repro.analysis.figures import ACCESS_CONFIG
+    from repro.system.system import System
+    from repro.workloads.common import LatencyRecorder, make_engine
+    from repro.workloads.micro.access import _build_chain
+
+    config: SystemConfig = ACCESS_CONFIG
+    system = System(config)
+    engine = make_engine(engine_name, system)
+    count = buffer_size // 8
+    src = system.alloc(buffer_size + 4096, align=4096) + 16
+    dst = system.alloc(buffer_size + 4096, align=4096)
+    start_index = _build_chain(system, src, count, seed)
+    recorder = LatencyRecorder()
+    visits = int(count * fraction)
+
+    def program():
+        yield recorder.begin()
+        yield from engine.copy_ops(dst, src, buffer_size)
+        index = start_index
+        for _ in range(visits):
+            gen = engine.read_ops(dst + index * 8, 8, blocking=True)
+            value = None
+            for op in gen:
+                value = yield op
+            index = struct.unpack("<Q", value)[0]
         yield recorder.end()
 
     start = host_seconds() if timed else 0.0
@@ -148,6 +228,8 @@ def run_microbench(num_events: int = 200_000,
                        range(repeats)), key=lambda r: r["events_per_sec"])
     fig12_best = max((fig12_point() for _ in range(repeats)),
                      key=lambda r: r["events_per_sec"])
+    fig13_best = max((fig13_point() for _ in range(repeats)),
+                     key=lambda r: r["events_per_sec"])
     calibration = calibrate_ops_per_sec()
     return {
         "engine_events_per_sec": round(engine_best["events_per_sec"], 1),
@@ -155,9 +237,14 @@ def run_microbench(num_events: int = 200_000,
         "fig12_events_per_sec": round(fig12_best["events_per_sec"], 1),
         "fig12_events": fig12_best["events"],
         "fig12_cycles": fig12_best["cycles"],
+        "fig13_events_per_sec": round(fig13_best["events_per_sec"], 1),
+        "fig13_events": fig13_best["events"],
+        "fig13_cycles": fig13_best["cycles"],
         "calibration_ops_per_sec": round(calibration, 1),
         "engine_per_calibration_op": round(
             engine_best["events_per_sec"] / calibration, 4),
         "fig12_per_calibration_op": round(
             fig12_best["events_per_sec"] / calibration, 4),
+        "fig13_per_calibration_op": round(
+            fig13_best["events_per_sec"] / calibration, 4),
     }

@@ -85,6 +85,32 @@ def record_label_costs(costs: Dict[str, Dict[str, float]],
     update_bench("label_costs", costs, path=path)
 
 
+def format_top_labels(costs: Dict[str, Dict[str, float]],
+                      limit: int = 20) -> str:
+    """Top-``limit`` labels by cumulative seconds, as a plain table.
+
+    ``costs`` is the :meth:`Simulator.label_costs` shape
+    (label -> count/total_s/min_s/max_s); the rendered report is what
+    ``python -m repro.perf micro --profile`` writes for CI to archive.
+    """
+    ranked = sorted(costs.items(), key=lambda item: item[1]["total_s"],
+                    reverse=True)[:limit]
+    total = sum(bucket["total_s"] for bucket in costs.values()) or 1.0
+    lines = [f"{'label':40s} {'count':>10s} {'total_s':>10s} "
+             f"{'mean_us':>9s} {'share':>6s}"]
+    for label, bucket in ranked:
+        count = bucket["count"]
+        mean_us = bucket["total_s"] / count * 1e6 if count else 0.0
+        lines.append(f"{label[:40]:40s} {count:>10.0f} "
+                     f"{bucket['total_s']:>10.4f} {mean_us:>9.2f} "
+                     f"{bucket['total_s'] / total:>6.1%}")
+    return "\n".join(lines)
+
+
+def profile_report_path() -> pathlib.Path:
+    return repo_root() / "results" / "PROFILE_micro.txt"
+
+
 class Stopwatch:
     """``with Stopwatch() as sw: ...; sw.seconds`` — host wall clock."""
 

@@ -1,11 +1,12 @@
 """Property test: the O(1) ``pending`` counter vs. an O(n) queue scan.
 
-The engine keeps ``pending = len(_queue) - _cancelled`` as a live
-counter so sweeps can poll it without walking the heap.  The counter is
+The engine keeps ``pending = _seq - _consumed - _cancelled`` as live
+counters so sweeps can poll it without walking the calendar.  They are
 touched from schedule, cancel (including double-cancel and post-fire
-cancel), pop, and compaction — this test drives random interleavings of
-all of them and checks the counter against the ground truth at every
-step.
+cancel), dispatch, far-list promotion, and compaction — this test
+drives random interleavings of all of them and checks the counter
+against the ground truth at every step.  Small ``day_length`` values
+push part of the workload through the far list and its promotion path.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -14,9 +15,8 @@ from repro.sim.engine import Simulator
 
 
 def _scan(sim: Simulator) -> int:
-    """Ground truth: count live events by walking the heap."""
-    return sum(1 for _when, _seq, event in sim._queue
-               if not event.cancelled)
+    """Ground truth: count live events by walking ring + far list."""
+    return sum(1 for _ in sim._live_events())
 
 
 @st.composite
@@ -38,9 +38,9 @@ def schedules(draw):
 
 
 @settings(max_examples=150, deadline=None)
-@given(schedules())
-def test_pending_counter_matches_queue_scan(steps):
-    sim = Simulator()
+@given(schedules(), st.sampled_from((1, 4, 16, None)))
+def test_pending_counter_matches_queue_scan(steps, day_length):
+    sim = Simulator(day_length=day_length)
     events = []
     for step in steps:
         if step[0] == "schedule":
@@ -60,10 +60,11 @@ def test_pending_counter_matches_queue_scan(steps):
 
 
 @settings(max_examples=50, deadline=None)
-@given(st.lists(st.integers(0, 20), min_size=1, max_size=30))
-def test_pending_survives_cancel_from_callback(delays):
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=30),
+       st.sampled_from((4, None)))
+def test_pending_survives_cancel_from_callback(delays, day_length):
     """Events cancelled *by a running callback* keep the counter exact."""
-    sim = Simulator()
+    sim = Simulator(day_length=day_length)
     scheduled = []
 
     def cancel_half() -> None:
