@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-tests analyze-diff simsan-smoke tie-smoke trace-smoke chaos-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline sharding-report
+.PHONY: test analyze analyze-tests analyze-diff simsan-smoke tie-smoke own-smoke trace-smoke chaos-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline sharding-report ownership-report
 
 all: analyze test
 
@@ -39,7 +39,7 @@ analyze:
 # sanitizer and race-order fixtures are excluded because they violate
 # the rules on purpose.
 analyze-tests:
-	$(PYTHON) -m repro.analysis tests benchmarks --select MC2401,MC2402,MC2403,MC2404,MC2501,MC2502,MC2503,MC2901 --exclude tests/unit/simsan_plants.py --exclude tests/unit/raceorder_plants.py
+	$(PYTHON) -m repro.analysis tests benchmarks --select MC2401,MC2402,MC2403,MC2404,MC2501,MC2502,MC2503,MC2901 --exclude tests/unit/simsan_plants.py --exclude tests/unit/raceorder_plants.py --exclude tests/unit/ownership_plants.py
 
 # Exit non-zero only on findings not in analysis-baseline.json.
 analyze-diff:
@@ -60,6 +60,19 @@ tie-smoke:
 sharding-report:
 	$(PYTHON) -m repro.analysis src/repro --sharding-report
 	$(PYTHON) -m repro.analysis src/repro --sharding-report --format json --output sharding-report.json
+
+# Partition proof: per-shard inventories + the rendezvous edge list;
+# exits non-zero unless 0 unknown classes and 0 problems
+# (docs/SHARDING.md).  Also checks the planted violations stay caught.
+ownership-report:
+	$(PYTHON) -m repro.analysis src/repro --ownership-report
+	$(PYTHON) -m repro.analysis src/repro --ownership-report --format json --output ownership-report.json
+	! $(PYTHON) -m repro.analysis tests/unit/ownership_plants.py --select MC2701,MC2702,MC2703,MC2704,MC2705
+
+# The ownership audit over the plant suite and a real system run
+# (docs/ANALYSIS.md: REPRO_SIMSAN=own).
+own-smoke:
+	REPRO_SIMSAN=own $(PYTHON) -m pytest tests/unit/test_ownership.py -x -q -p no:cacheprovider
 
 # One traced micro workload end to end: export, schema-validate, and
 # summarize a Chrome trace (docs/OBSERVABILITY.md).

@@ -85,17 +85,33 @@ def load(path: str) -> Dict[str, Dict[str, str]]:
 
 
 def save(path: str, findings: Iterable[Finding]) -> int:
-    """Write a baseline covering ``findings``; returns the entry count."""
+    """Write a canonical baseline covering ``findings``.
+
+    Canonical means reproducible bytes: entries are sorted by
+    ``(path, rule, snippet, fingerprint)`` — not by the line-number
+    order findings happened to arrive in — so regenerating an unchanged
+    baseline is a no-op diff.  Justifications on entries that survive
+    the rewrite are carried over from the existing file (matched by
+    fingerprint); a deliberate exception does not lose its audit trail
+    just because the baseline was refreshed.  Returns the entry count.
+    """
+    try:
+        existing = load(path)
+    except ConfigError:
+        existing = {}  # a corrupt file is being replaced wholesale
     entries = [
         {
             "fingerprint": digest,
             "rule": finding.rule,
             "path": _path_key(finding.path),
             "snippet": _normalize(finding.snippet),
-            "justification": "",
+            "justification": str(
+                existing.get(digest, {}).get("justification", "")),
         }
         for finding, digest in fingerprints(findings)
     ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["snippet"],
+                                e["fingerprint"]))
     payload = {"version": VERSION, "entries": entries}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

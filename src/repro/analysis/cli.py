@@ -59,7 +59,7 @@ def _text_report(report: engine.Report, show_suppressed: bool) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _json_report(report: engine.Report) -> str:
+def _json_report(report: engine.Report, stats: bool = False) -> str:
     payload = {
         "files_analyzed": report.files_analyzed,
         "ok": report.ok,
@@ -72,7 +72,26 @@ def _json_report(report: engine.Report) -> str:
             for f in report.findings
         ],
     }
+    if stats:
+        payload["stats"] = {
+            code: {"seconds": entry["seconds"],
+                   "findings": int(entry["findings"])}
+            for code, entry in report.rule_stats.items()
+        }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _stats_table(report: engine.Report) -> str:
+    """Per-rule cost table, slowest rule first."""
+    lines = ["per-rule stats (wall time, raw findings):"]
+    entries = sorted(report.rule_stats.items(),
+                     key=lambda kv: (-kv[1]["seconds"], kv[0]))
+    for code, entry in entries:
+        lines.append(f"  {code}  {entry['seconds'] * 1000.0:8.2f} ms  "
+                     f"{int(entry['findings']):4d} finding(s)")
+    total = sum(e["seconds"] for e in report.rule_stats.values())
+    lines.append(f"  total rule time: {total * 1000.0:.2f} ms")
+    return "\n".join(lines) + "\n"
 
 
 def _diff_report(report: engine.Report, known, output: Optional[str]) -> int:
@@ -152,6 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
              "provably shard-local, cross-shard (with rendezvous "
              "points), or unknown — the inventory the per-channel "
              "engine split starts from")
+    parser.add_argument(
+        "--ownership-report", action="store_true",
+        help="prove the declared per-channel partition: per-shard "
+             "attribute inventories, the exact rendezvous edge list, "
+             "and the unknown/problem buckets the MC27xx gate drives "
+             "to zero (exit 1 when the partition is not proven)")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="append per-rule wall time and raw finding counts to the "
+             "report (text: a table; json: a 'stats' key)")
     return parser
 
 
@@ -181,6 +210,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             _emit(sharding.report_text(report), args.output)
         return 0
 
+    if args.ownership_report:
+        from repro.analysis import ownership
+        try:
+            files = engine.collect_files(paths, exclude=args.exclude)
+            modules = engine.parse_modules(files)
+            report = ownership.analyze(modules)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            _emit(ownership.report_json(report), args.output)
+        else:
+            _emit(ownership.report_text(report), args.output)
+        return 0 if report.ok else 1
+
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
         baseline_path = DEFAULT_BASELINE
@@ -206,9 +250,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.format == "sarif":
         _emit(sarif.dumps(report.findings), args.output)
     elif args.format == "json":
-        _emit(_json_report(report), args.output)
+        _emit(_json_report(report, stats=args.stats), args.output)
     else:
-        _emit(_text_report(report, args.show_suppressed), args.output)
+        text = _text_report(report, args.show_suppressed)
+        if args.stats:
+            text += _stats_table(report)
+        _emit(text, args.output)
     return 0 if report.ok else 1
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import ast
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -149,6 +150,9 @@ class Report:
 
     findings: List[Finding] = field(default_factory=list)
     files_analyzed: int = 0
+    #: Per-rule cost accounting: code -> {"seconds": float,
+    #: "findings": int} (raw counts, before suppression/baselining).
+    rule_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def active(self) -> List[Finding]:
@@ -190,6 +194,19 @@ def run(paths: Sequence[str], baseline_path: Optional[str] = None,
         rules = [r for r in rules if r.code in wanted]
 
     findings: List[Finding] = []
+    stats: Dict[str, Dict[str, float]] = {
+        rule.code: {"seconds": 0.0, "findings": 0} for rule in rules}
+
+    def _run_rule(rule, produce) -> None:
+        # Wall-clock reads here time the *analyzer's* rules for the
+        # --stats table; this driver never runs on a simulation path.
+        start = time.perf_counter()  # noqa: MC2001
+        batch = list(produce)
+        entry = stats[rule.code]
+        entry["seconds"] += time.perf_counter() - start  # noqa: MC2001
+        entry["findings"] += len(batch)
+        findings.extend(batch)
+
     for module in modules:
         error = getattr(module, "parse_error", None)
         if error is not None:
@@ -197,13 +214,16 @@ def run(paths: Sequence[str], baseline_path: Optional[str] = None,
                 rule="MC2000", message=f"syntax error: {error.msg}",
                 path=module.path, line=error.lineno or 1,
                 col=(error.offset or 1) - 1))
+            entry = stats.setdefault("MC2000",
+                                     {"seconds": 0.0, "findings": 0})
+            entry["findings"] += 1
             continue
         for rule in rules:
-            findings.extend(rule.check_module(module))
+            _run_rule(rule, rule.check_module(module))
     parsed = [m for m in modules if getattr(m, "parse_error", None) is None]
     project = ProjectContext(parsed)
     for rule in rules:
-        findings.extend(rule.check_project(project))
+        _run_rule(rule, rule.check_project(project))
 
     # Per-line suppressions (tokenize-aware: strings containing
     # "# noqa" are data, not markers).
@@ -213,10 +233,15 @@ def run(paths: Sequence[str], baseline_path: Optional[str] = None,
     # MC2901 post-pass: needs the raw findings *and* the marker table,
     # so it cannot run as a normal rule hook.
     if any(r.code == "MC2901" for r in rules):
-        findings.extend(_stale_suppressions(
+        start = time.perf_counter()  # noqa: MC2001 (analyzer self-timing)
+        stale = _stale_suppressions(
             parsed, tables, findings,
             ran_codes={r.code for r in rules} - {"MC2901"},
-            full_run=select is None))
+            full_run=select is None)
+        entry = stats["MC2901"]
+        entry["seconds"] += time.perf_counter() - start  # noqa: MC2001
+        entry["findings"] += len(stale)
+        findings.extend(stale)
 
     findings = [
         replace(f, suppressed=(
@@ -235,4 +260,5 @@ def run(paths: Sequence[str], baseline_path: Optional[str] = None,
             findings = baseline_mod.apply(findings, known)
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return Report(findings=findings, files_analyzed=len(files))
+    return Report(findings=findings, files_analyzed=len(files),
+                  rule_stats=stats)

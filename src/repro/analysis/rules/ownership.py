@@ -1,0 +1,104 @@
+"""MC27xx: shard-ownership rules for the per-channel engine split.
+
+Thin rule adapters over the shared ownership inference
+(:mod:`repro.analysis.ownership`): the pass runs once per analyzer
+invocation (memoized on the project context) and each rule reports its
+slice of the problems.  See ``docs/SHARDING.md`` for the partition
+contract the rules enforce and ``mc2-analyze --ownership-report`` for
+the full per-shard inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import ownership
+from repro.analysis.core import Finding, Rule, register
+
+#: Attribute name the memoized report is stashed under on the project
+#: context (one inference run serves all five rules).
+_STASH = "_mc27_ownership_report"
+
+
+def _report(project) -> ownership.OwnershipReport:
+    rep = getattr(project, _STASH, None)
+    if rep is None:
+        rep = ownership.analyze(project.modules)
+        setattr(project, _STASH, rep)
+    return rep
+
+
+class _OwnershipRule(Rule):
+    """Base: report the inference problems matching this rule's code."""
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for problem in _report(project).problems:
+            if problem.code == self.code:
+                yield self.finding(problem.module, problem.node,
+                                   problem.message)
+
+
+@register
+class CrossShardAccess(_OwnershipRule):
+    code = "MC2701"
+    name = "cross-shard-access"
+    summary = ("cross-shard access to mutable state outside a declared "
+               "rendezvous port")
+    rationale = (
+        "The sharded engine turns every declared @rendezvous port into a "
+        "deterministic cross-loop message.  A mutable-state access that "
+        "bypasses the ports would become an unsynchronized cross-thread "
+        "touch after the split — route it through a port, or move it to "
+        "the owning shard.")
+
+
+@register
+class OwnershipLeak(_OwnershipRule):
+    code = "MC2702"
+    name = "ownership-leak"
+    summary = ("a @shard_local class stores a cross-owner reference in "
+               "its own instance state")
+    rationale = (
+        "A retained handle to another shard's object outlives the "
+        "rendezvous that produced it, so later dereferences are invisible "
+        "to the synchronization analysis.  Look the owner up per access "
+        "(the _owner_of idiom) or pass the data itself through a port.")
+
+
+@register
+class RendezvousPhase(_OwnershipRule):
+    code = "MC2703"
+    name = "rendezvous-phase"
+    summary = ("a @rendezvous port is scheduled outside the "
+               "shared-rendezvous event phase")
+    rationale = (
+        "Rendezvous events must observe every shard's completed same-cycle "
+        "work; running one in an earlier phase makes its outcome depend on "
+        "the same-cycle tie-break.  Schedule ports with phase=2, like the "
+        "DRAM arbiter grant.")
+
+
+@register
+class UnknownOwnership(_OwnershipRule):
+    code = "MC2704"
+    name = "unknown-ownership"
+    summary = ("a component class with mutable state has no "
+               "shard-ownership declaration")
+    rationale = (
+        "The partition proof is only as strong as its coverage: state "
+        "with no declared owner cannot be assigned to an event loop.  The "
+        "gate drives this bucket to exactly zero — every stateful class "
+        "in the simulation packages declares @shard_local or @shared.")
+
+
+@register
+class OwnershipMismatch(_OwnershipRule):
+    code = "MC2705"
+    name = "ownership-mismatch"
+    summary = ("a shard-ownership annotation contradicts the inferred "
+               "channel wiring")
+    rationale = (
+        "Annotations are trusted by the engine split, so a declaration "
+        "the dataflow contradicts (a @shared class wired to one channel, "
+        "or a @shard_local class with no ownership evidence) is a latent "
+        "partition bug, not a style issue.")

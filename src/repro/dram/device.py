@@ -13,9 +13,11 @@ from typing import Dict, Optional
 
 from repro.common import params
 from repro.dram.address_map import DramLocation
+from repro.sim.shard import rendezvous, shard_local
 from repro.sim.stats import StatGroup
 
 
+@shard_local
 class Bank:
     """One DRAM bank: tracks the open row and when it is next usable."""
 
@@ -26,6 +28,7 @@ class Bank:
         self.ready_at: int = 0
 
 
+@shard_local
 class DramChannel:
     """Timing model of one DRAM channel (one per memory controller)."""
 
@@ -44,6 +47,7 @@ class DramChannel:
         self._trace = None
         self._track = "dram"
 
+    @rendezvous("dram-access")
     def access(self, loc: DramLocation, now: int) -> int:
         """Perform one cacheline access; returns the completion cycle.
 

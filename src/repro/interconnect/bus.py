@@ -33,6 +33,7 @@ from repro.common import params
 from repro.memctrl.controller import MemoryController
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet, PacketType
+from repro.sim.shard import shared
 from repro.sim.stats import StatGroup
 
 #: Event labels by packet type, prebuilt: send() runs once per packet and
@@ -54,6 +55,7 @@ _TYPE_RANK = {
 }
 
 
+@shared
 class Interconnect:
     """Routes packets from the cache side to memory controllers."""
 

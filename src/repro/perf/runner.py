@@ -153,6 +153,9 @@ def _run_point(point: SimPoint) -> Any:
             fn = obs_runtime.traced(fn, point.name)
     san = _sanitizer()
     if san is not None:
+        # REPRO_SIMSAN=own additionally arms the shard-ownership audit
+        # (idempotent; a per-worker no-op once installed).
+        san.maybe_install_ownership()
         call = (lambda *args, **kwargs:
                 san.checked_call(fn, args, kwargs, point.name))
     else:

@@ -13,6 +13,8 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
+from repro.sim.shard import shared
+
 
 class PacketType(enum.Enum):
     """Kinds of traffic the memory system understands."""
@@ -24,6 +26,7 @@ class PacketType(enum.Enum):
     CTT_UPDATE = "ctt_update"    # inter-MC snoop keeping CTTs consistent
 
 
+@shared
 class Packet:
     """One memory-system transaction.
 

@@ -1,0 +1,129 @@
+"""Shard-ownership annotations for the per-channel engine split.
+
+The roadmap's sharded-engine rewrite partitions the simulation by DRAM
+channel: each memory controller (and the state it owns) runs in its own
+event loop, and anything two shards touch in the same cycle must go
+through a deterministic rendezvous.  This module is the *declaration*
+side of that contract — component classes state which shard owns their
+instances, and methods that other shards may legitimately call declare
+themselves as rendezvous ports:
+
+* ``@shard_local`` — instances belong to exactly one shard.  The
+  default domain is ``"channel"`` with the owner identified by the
+  instance's ``channel_id`` attribute (or, for owned sub-objects like
+  the BPQ and the DRAM device model, inherited from the constructing
+  component).  ``@shard_local(domain="cpu")`` marks the core/cache
+  complex, which the split runs as its own shard.
+* ``@shared`` — instances are deliberately visible to every shard: the
+  engine, the interconnect fabric, the replicated CTT, stats, the
+  backing store, and pure helpers like the address map.
+* ``@rendezvous("name")`` — a method other shards may call.  These are
+  the exact synchronization points the sharded engine must turn into
+  deterministic cross-loop messages; everything else on a
+  ``@shard_local`` class is private to its owner.
+
+The decorators are **zero-cost declarations**: they stamp a class (or
+function) attribute and return their target unchanged — no wrappers, no
+metaclasses, no per-instance state — so annotating a class cannot
+change simulation behavior (the golden trace stays byte-identical).
+
+Two enforcement layers consume the declarations:
+
+* statically, the MC27xx ownership rules and ``mc2-analyze
+  --ownership-report`` (:mod:`repro.analysis.ownership`) check the
+  declared partition against an interprocedural ownership inference on
+  the call graph;
+* dynamically, ``REPRO_SIMSAN=own`` (:mod:`repro.analysis.simsan`)
+  stamps instances with their owner at construction and audits
+  attribute mutations against the declared ports via the registries
+  below.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TypeVar
+
+_T = TypeVar("_T")
+
+#: Class attribute carrying the declared role:
+#: ``("local", domain, key)`` or ``("shared", None, None)``.
+ROLE_ATTR = "__shard_role__"
+
+#: Function attribute carrying a declared rendezvous-port name.
+PORT_ATTR = "__shard_port__"
+
+#: Instance attribute the dynamic audit stamps owners into
+#: (``(domain, ident)``); never set when the audit is off.
+OWNER_SLOT = "_shard_owner_"
+
+DOMAIN_CHANNEL = "channel"
+DOMAIN_CPU = "cpu"
+
+#: Classes declared ``@shard_local``, in declaration (import) order.
+LOCAL_CLASSES: List[type] = []
+
+#: Classes declared ``@shared``.
+SHARED_CLASSES: List[type] = []
+
+#: Code objects of declared rendezvous ports -> port name (the dynamic
+#: audit's frame-walk allowlist).
+RENDEZVOUS_CODES: Dict[Any, str] = {}
+
+
+def shard_local(cls: Optional[type] = None, *,
+                key: str = "channel_id",
+                domain: str = DOMAIN_CHANNEL) -> Any:
+    """Declare a class's instances as owned by exactly one shard.
+
+    ``key`` names the instance attribute identifying the owner within
+    ``domain`` (ignored when the instance lacks it — owned sub-objects
+    inherit their owner from the constructing component).  Usable bare
+    (``@shard_local``) or parameterized (``@shard_local(domain="cpu")``).
+    """
+    def mark(target: type) -> type:
+        setattr(target, ROLE_ATTR, ("local", domain, key))
+        LOCAL_CLASSES.append(target)
+        return target
+    if cls is None:
+        return mark
+    return mark(cls)
+
+
+def shared(cls: type) -> type:
+    """Declare a class's instances as visible to every shard."""
+    setattr(cls, ROLE_ATTR, ("shared", None, None))
+    SHARED_CLASSES.append(cls)
+    return cls
+
+
+def rendezvous(name: str) -> Callable[[_T], _T]:
+    """Declare a method as a cross-shard port named ``name``.
+
+    Ports are the only members of a ``@shard_local`` class that code
+    running on another shard may touch; the sharded engine will turn
+    each one into a deterministic cross-loop message.  Stacks under
+    ``@property`` for probe ports (``wpq_fullness``).
+    """
+    def mark(fn: _T) -> _T:
+        setattr(fn, PORT_ATTR, name)
+        code = getattr(fn, "__code__", None)
+        if code is not None:
+            # Import-time-only registration: decorators run when the
+            # declaring module is first imported, never on a sim path,
+            # so forked workers and cached sim points all see the same
+            # finished registry.
+            RENDEZVOUS_CODES[code] = name  # noqa: MC2401, MC2501
+        return fn
+    return mark
+
+
+def role_of(cls: type) -> Optional[tuple]:
+    """The declared role of ``cls`` (inherited through bases), or None."""
+    return getattr(cls, ROLE_ATTR, None)
+
+
+def port_name(fn: Any) -> Optional[str]:
+    """The declared rendezvous-port name of ``fn``, or None."""
+    fn = getattr(fn, "__func__", fn)        # unwrap bound methods
+    fn = getattr(fn, "fget", fn)            # unwrap property probes
+    return getattr(fn, PORT_ATTR, None)

@@ -1,0 +1,80 @@
+"""Deliberately planted shard-ownership violations.
+
+This module is the shared fixture for the MC27xx two-sided oracle
+check: the same planted violation must be caught *statically* by the
+ownership inference (``MC2701``/``MC2702``/``MC2703``/``MC2704``/
+``MC2705`` in ``test_ownership.py``) and — where a runtime analogue
+exists — *dynamically* by the ``REPRO_SIMSAN=own`` ownership audit.
+It is excluded from lint sweeps (``--exclude
+tests/unit/ownership_plants.py`` in CI and the Makefile) precisely
+because its findings are intentional.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.shard import rendezvous, shard_local, shared
+
+
+@shard_local
+class PlantController:
+    """A channel-owned component that violates the partition three ways.
+
+    * ``poke`` (MC2701) mutates another shard's counter directly —
+      no declared port anywhere on the path;
+    * ``steal`` (MC2702) retains the cross-owner handle in its own
+      instance state;
+    * ``kick`` (MC2703) schedules its declared rendezvous port at
+      phase 0 instead of the shared-rendezvous phase 2.
+    """
+
+    def __init__(self, sim: Simulator, channel_id: int):
+        self.sim = sim
+        self.channel_id = channel_id
+        self.pressure = 0
+        self.stolen = None
+        self.peers = []
+
+    def _owner_of(self, addr: int) -> "PlantController":
+        return self.peers[addr % len(self.peers)]
+
+    def poke(self, addr: int) -> None:
+        owner = self._owner_of(addr)
+        owner.pressure += 1  # MC2701: cross-shard write, no port
+
+    def steal(self, addr: int) -> None:
+        self.stolen = self._owner_of(addr)  # MC2702: retained handle
+
+    def kick(self) -> None:
+        # MC2703: a rendezvous port racing ordinary phase-0 events.
+        self.sim.schedule(1, self.grant, label="plant-grant", phase=0)
+
+    @rendezvous("plant-grant")
+    def grant(self) -> None:
+        self.pressure = 0
+
+    @rendezvous("plant-push")
+    def push_to(self, peer: "PlantController") -> None:
+        # The control case: the same cross-shard mutation as ``poke``,
+        # but inside a declared port — neither oracle may flag it.
+        peer.pressure += 1
+
+
+@shared
+class PlantTable:
+    """MC2705 — declared shared, but the wiring pins it to one channel."""
+
+    def __init__(self, channel_id: int):
+        self.channel_id = channel_id
+        self.rows = {}
+
+    def put(self, key, value) -> None:
+        self.rows[key] = value
+
+
+class PlantOrphan:
+    """MC2704 — mutable component state with no ownership declaration."""
+
+    def __init__(self):
+        self.backlog = []
+
+    def push(self, item) -> None:
+        self.backlog.append(item)

@@ -1,0 +1,349 @@
+"""MC27xx shard-ownership analyzer and the ``REPRO_SIMSAN=own`` audit.
+
+The two-sided oracle contract: every plant in ``ownership_plants.py``
+is caught *statically* by the ownership inference and — where a runtime
+analogue exists — *dynamically* by the installed ownership audit, while
+the real tree stays clean on both sides.  Also covers the CLI surface
+(``--ownership-report``, ``--stats``), the ``# noqa``/MC2901
+interaction for MC27xx codes, and the canonical baseline round trip.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import engine, ownership, simsan
+from repro.analysis.cli import main as cli_main
+from repro.analysis.core import all_rules
+from repro.common.errors import SanitizerError
+from repro.sim.engine import Simulator
+from repro.sim.shard import OWNER_SLOT
+
+from . import ownership_plants as plants
+
+PLANTS_PATH = str(Path(__file__).resolve().with_name("ownership_plants.py"))
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src" / "repro")
+
+OWN_CODES = ["MC2701", "MC2702", "MC2703", "MC2704", "MC2705"]
+
+#: The only port names a cross-shard edge in the real tree may use.
+DECLARED_PORTS = {"dram-request", "dram-grant", "wpq-probe",
+                  "bpq-probe", "bpq-supersede", "dram-access"}
+
+
+def codes(report):
+    return sorted(f.rule for f in report.findings if not f.suppressed)
+
+
+def analyze_paths(paths, **kwargs):
+    files = engine.collect_files(paths, **kwargs)
+    return ownership.analyze(engine.parse_modules(files))
+
+
+# ------------------------------------------------------------ static side
+
+
+def test_planted_violations_stay_caught():
+    report = engine.run([PLANTS_PATH], select=OWN_CODES)
+    assert codes(report) == OWN_CODES
+    assert not report.ok
+
+
+def test_plant_findings_name_the_right_sites():
+    report = engine.run([PLANTS_PATH], select=OWN_CODES)
+    by_rule = {f.rule: f for f in report.findings}
+    assert "poke" in by_rule["MC2701"].message
+    assert "stolen" in by_rule["MC2702"].message
+    assert "plant-grant" in by_rule["MC2703"].message
+    assert "PlantOrphan" in by_rule["MC2704"].message
+    assert "PlantTable" in by_rule["MC2705"].message
+
+
+def test_declared_port_is_not_flagged():
+    # push_to performs the same cross-shard mutation as poke, but
+    # inside a declared rendezvous port: exactly one MC2701 (poke's).
+    report = engine.run([PLANTS_PATH], select=["MC2701"])
+    assert len(report.active) == 1
+    assert "poke" in report.active[0].message
+
+
+def test_registry_lists_ownership_rules():
+    listed = {rule.code for rule in all_rules()}
+    assert set(OWN_CODES) <= listed
+
+
+def test_repo_partition_is_proven():
+    report = analyze_paths([REPO_SRC])
+    assert report.unknown_classes() == []
+    assert report.problems == []
+    assert report.ok
+    shards = report.shards()
+    assert "repro.memctrl.controller.MemoryController" in shards["channel"]
+    assert "repro.mcsquare.bpq.BouncePendingQueue" in shards["channel"]
+    assert "repro.cache.hierarchy.CacheHierarchy" in shards["cpu"]
+    assert report.classes["repro.interconnect.bus.Interconnect"].declared \
+        == "shared"
+    # Every cross-shard edge goes through a declared rendezvous port.
+    assert report.edges, "inference found no cross-shard edges (vacuous)"
+    assert {edge.port for edge in report.edges} <= DECLARED_PORTS
+
+
+def test_repo_edges_cover_the_load_bearing_ports():
+    ports = {edge.port for edge in analyze_paths([REPO_SRC]).edges}
+    # The remote-WPQ probe, the BPQ probe, and the peer DRAM path are
+    # the crossings the sharded engine must turn into messages.
+    assert {"wpq-probe", "bpq-probe", "dram-access"} <= ports
+
+
+# -------------------------------------------------------------- CLI
+
+
+def test_cli_ownership_report_proves_repo(tmp_path):
+    out = tmp_path / "own.txt"
+    assert cli_main([REPO_SRC, "--ownership-report",
+                     "--output", str(out)]) == 0
+    assert "partition PROVEN" in out.read_text()
+
+
+def test_cli_ownership_report_json_shape(tmp_path):
+    out = tmp_path / "own.json"
+    assert cli_main([REPO_SRC, "--ownership-report", "--format", "json",
+                     "--output", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["summary"]["unknown_classes"] == 0
+    assert payload["summary"]["problems"] == 0
+    assert payload["edges"]
+    for edge in payload["edges"]:
+        assert edge["port"] in DECLARED_PORTS
+
+
+def test_cli_ownership_report_gates_on_plants(tmp_path):
+    out = tmp_path / "own.txt"
+    assert cli_main([PLANTS_PATH, "--ownership-report",
+                     "--output", str(out)]) == 1
+    assert "NOT proven" in out.read_text()
+
+
+def test_cli_stats_text_and_json(tmp_path):
+    out = tmp_path / "stats.txt"
+    cli_main([PLANTS_PATH, "--select", "MC2701", "--stats",
+              "--output", str(out)])
+    text = out.read_text()
+    assert "per-rule stats" in text
+    assert "MC2701" in text
+
+    out_json = tmp_path / "stats.json"
+    cli_main([PLANTS_PATH, "--select", "MC2701", "--stats",
+              "--format", "json", "--output", str(out_json)])
+    payload = json.loads(out_json.read_text())
+    assert payload["stats"]["MC2701"]["findings"] == 1
+    assert payload["stats"]["MC2701"]["seconds"] >= 0.0
+
+
+def test_stats_absent_without_flag(tmp_path):
+    out = tmp_path / "plain.json"
+    cli_main([PLANTS_PATH, "--select", "MC2701", "--format", "json",
+              "--output", str(out)])
+    assert "stats" not in json.loads(out.read_text())
+
+
+# ------------------------------------------------- noqa / MC2901 interplay
+
+
+def write_fixture(tmp_path, body):
+    path = tmp_path / "fixture.py"
+    path.write_text("from repro.sim.shard import shard_local\n\n" + body)
+    return str(path)
+
+
+CROSS_WRITE = """\
+@shard_local
+class Ctrl:
+    def __init__(self, channel_id):
+        self.channel_id = channel_id
+        self.pressure = 0
+        self.peers = []
+
+    def _owner_of(self, addr):
+        return self.peers[addr % len(self.peers)]
+
+    def poke(self, addr):
+        owner = self._owner_of(addr)
+        owner.pressure += 1{marker}
+"""
+
+
+def test_noqa_suppresses_mc2701(tmp_path):
+    path = write_fixture(tmp_path,
+                         CROSS_WRITE.format(marker="  # noqa: MC2701"))
+    report = engine.run([path], select=["MC2701", "MC2901"])
+    assert report.ok
+    assert [f.rule for f in report.suppressed] == ["MC2701"]
+
+
+def test_stale_mc2701_noqa_is_flagged(tmp_path):
+    # Same suppression on a line where MC2701 no longer fires -> MC2901.
+    body = CROSS_WRITE.format(marker="")
+    body = body.replace("owner.pressure += 1",
+                        "self.pressure += 1  # noqa: MC2701")
+    path = write_fixture(tmp_path, body)
+    report = engine.run([path], select=["MC2701", "MC2901"])
+    assert [f.rule for f in report.active] == ["MC2901"]
+
+
+# ------------------------------------------------------ baseline round trip
+
+
+def test_baseline_save_is_canonical_and_keeps_justifications(tmp_path):
+    target = str(tmp_path / "baseline.json")
+    report = engine.run([PLANTS_PATH], select=OWN_CODES)
+    baseline_mod.save(target, report.findings)
+
+    # Annotate one entry the way a reviewer would.
+    payload = json.loads(Path(target).read_text())
+    payload["entries"][0]["justification"] = "deliberate plant"
+    kept = payload["entries"][0]["fingerprint"]
+    Path(target).write_text(json.dumps(payload) + "\n")
+
+    # Re-saving the same findings is byte-stable modulo the edit and
+    # carries the justification over by fingerprint.
+    baseline_mod.save(target, report.findings)
+    first = Path(target).read_bytes()
+    baseline_mod.save(target, report.findings)
+    assert Path(target).read_bytes() == first
+    assert first.endswith(b"\n")
+    entries = {e["fingerprint"]: e
+               for e in json.loads(first)["entries"]}
+    assert entries[kept]["justification"] == "deliberate plant"
+
+    # Round trip: everything saved is baselined on the next run.
+    known = baseline_mod.load(target)
+    applied = baseline_mod.apply(report.findings, known)
+    assert all(f.baselined for f in applied)
+
+
+def test_baseline_entry_order_is_content_sorted(tmp_path):
+    target = str(tmp_path / "baseline.json")
+    report = engine.run([PLANTS_PATH], select=OWN_CODES)
+    baseline_mod.save(target, report.findings)
+    entries = json.loads(Path(target).read_text())["entries"]
+    keys = [(e["path"], e["rule"], e["snippet"], e["fingerprint"])
+            for e in entries]
+    assert keys == sorted(keys)
+
+
+# ------------------------------------------------------------ dynamic side
+
+
+@pytest.fixture
+def own_audit(monkeypatch):
+    monkeypatch.setenv("REPRO_SIMSAN", "own")
+    monkeypatch.delenv("REPRO_SIMSAN_OWN_SAMPLE", raising=False)
+    simsan.install_ownership_audit()
+    yield
+    simsan.uninstall_ownership_audit()
+
+
+def wired_pair(sim):
+    a = plants.PlantController(sim, channel_id=0)
+    b = plants.PlantController(sim, channel_id=1)
+    a.peers = [a, b]
+    b.peers = [a, b]
+    return a, b
+
+
+def test_audit_stamps_owners(own_audit):
+    sim = Simulator()
+    a, b = wired_pair(sim)
+    assert getattr(a, OWNER_SLOT) == ("channel", 0)
+    assert getattr(b, OWNER_SLOT) == ("channel", 1)
+
+
+def test_dynamic_cross_shard_write_is_caught(own_audit):
+    a, _b = wired_pair(Simulator())
+    with pytest.raises(SanitizerError, match="MC2701"):
+        a.poke(1)  # mutates b's counter from a's shard
+
+
+def test_dynamic_ownership_leak_is_caught(own_audit):
+    a, _b = wired_pair(Simulator())
+    with pytest.raises(SanitizerError, match="MC2702"):
+        a.steal(1)  # retains the handle to b
+
+
+def test_dynamic_phase_violation_is_caught(own_audit):
+    sim = Simulator()
+    a, _b = wired_pair(sim)
+    with pytest.raises(SanitizerError, match="MC2703"):
+        a.kick()  # schedules the plant-grant port at phase 0
+
+
+def test_declared_port_mutation_is_allowed(own_audit):
+    a, b = wired_pair(Simulator())
+    a.push_to(b)  # same write as poke, but inside a rendezvous port
+    assert b.pressure == 1
+
+
+def test_port_scheduled_at_rendezvous_phase_is_allowed(own_audit):
+    sim = Simulator()
+    a, _b = wired_pair(sim)
+    a.pressure = 5
+    sim.schedule(1, a.grant, label="plant-grant", phase=2)
+    sim.run()
+    assert a.pressure == 0
+
+
+def test_sampling_skips_unsampled_mutations(own_audit, monkeypatch):
+    monkeypatch.setenv("REPRO_SIMSAN_OWN_SAMPLE", "1000000")
+    a, b = wired_pair(Simulator())
+    a.poke(1)  # sampled out: no report
+    assert b.pressure == 1
+
+
+def test_real_components_run_clean_under_audit(own_audit):
+    from repro import System, small_system
+    from repro.isa import ops
+
+    system = System(small_system())
+    src_a = system.alloc(4096)
+    dst_a = system.alloc(4096)
+
+    def prog():
+        yield ops.store(src_a, 64, data=b"x" * 64)
+        yield ops.mclazy(dst_a, src_a, 4096)
+        yield ops.load(dst_a, 8, blocking=True)
+        yield ops.mcfree(dst_a, 4096)
+
+    system.run_program(prog())  # no SanitizerError
+    for channel_id, mc in enumerate(system.controllers):
+        assert getattr(mc, OWNER_SLOT) == ("channel", channel_id)
+        assert getattr(mc.channel, OWNER_SLOT) == ("channel", channel_id)
+
+
+def test_uninstall_restores_everything(monkeypatch):
+    monkeypatch.setenv("REPRO_SIMSAN", "own")
+    schedule_before = Simulator.schedule
+    init_before = plants.PlantController.__dict__["__init__"]
+    simsan.install_ownership_audit()
+    assert Simulator.schedule is not schedule_before
+    simsan.uninstall_ownership_audit()
+    assert Simulator.schedule is schedule_before
+    assert plants.PlantController.__dict__["__init__"] is init_before
+    assert "__setattr__" not in plants.PlantController.__dict__
+    assert not simsan._own_state["installed"]
+
+
+def test_maybe_install_respects_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SIMSAN", "1")
+    simsan.maybe_install_ownership()
+    assert not simsan._own_state["installed"]
+    monkeypatch.setenv("REPRO_SIMSAN", "own")
+    assert simsan.mode() == "strict"
+    assert simsan.ownership_enabled()
+    simsan.maybe_install_ownership()
+    try:
+        assert simsan._own_state["installed"]
+    finally:
+        simsan.uninstall_ownership_audit()
