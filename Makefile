@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze analyze-tests analyze-diff simsan-smoke tie-smoke own-smoke trace-smoke chaos-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline sharding-report ownership-report
+.PHONY: test analyze analyze-tests analyze-diff simsan-smoke tie-smoke own-smoke trace-smoke chaos-smoke copyengine-smoke sarif lint baseline all bench bench-full bench-smoke perf-baseline sharding-report ownership-report
 
 all: analyze test
 
@@ -73,6 +73,13 @@ ownership-report:
 # (docs/ANALYSIS.md: REPRO_SIMSAN=own).
 own-smoke:
 	REPRO_SIMSAN=own $(PYTHON) -m pytest tests/unit/test_ownership.py -x -q -p no:cacheprovider
+
+# Two-backend slice of the Fig. 23 crossover family (mclazy vs
+# rowclone at 4KB/64KB): verifies functional equivalence end to end
+# and that the lazy-vs-in-DRAM winner flips with size
+# (docs/COPYENGINE.md).
+copyengine-smoke:
+	$(PYTHON) -m pytest benchmarks/test_fig23_backend_crossover.py -k smoke -x -q -p no:cacheprovider
 
 # One traced micro workload end to end: export, schema-validate, and
 # summarize a Chrome trace (docs/OBSERVABILITY.md).

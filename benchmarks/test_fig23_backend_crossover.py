@@ -1,0 +1,104 @@
+"""Figure 23 (extension): lazy-MC vs in-DRAM copy crossover.
+
+Not a paper exhibit — this figure family compares every registered copy
+backend (repro.copyengine) on a copy-then-read microbenchmark across
+copy size, source/destination DRAM locality and channel-bandwidth
+pressure.  Expected shape: (MC)² wins small copies (O(1) CTT insertion
+vs per-line PSM row copies), RowClone/Mirroring win large FPM-eligible
+copies, and every in-DRAM backend degrades to the eager software copy
+when the buffers are channel-incongruent.
+"""
+
+from conftest import emit, run_once, scale
+
+
+def test_fig23_smoke(benchmark):
+    """Two-backend crossover at test scale (the copyengine-smoke gate)."""
+    from repro.analysis.figures import figure23
+    from repro.common.units import KB
+
+    rows = run_once(benchmark, figure23,
+                    sizes=(4 * KB, 64 * KB),
+                    localities=("subarray",),
+                    backends=("mclazy", "rowclone"))
+    emit("figure23_smoke", rows,
+         "Figure 23 (smoke): mclazy vs rowclone, subarray locality")
+
+    assert all(r["verified"] for r in rows)
+    copy = {(r["backend"], r["size_bytes"]): r["copy_cycles"] for r in rows}
+    # The crossover in miniature: lazy wins the small copy, the in-DRAM
+    # row copy wins the large FPM-eligible one.
+    assert copy[("mclazy", 4 * KB)] < copy[("rowclone", 4 * KB)]
+    assert copy[("rowclone", 64 * KB)] < copy[("mclazy", 64 * KB)]
+
+
+def test_fig23_backend_crossover(benchmark):
+    """All five backends over the size × locality grid."""
+    from repro.analysis.figures import figure23
+    from repro.workloads.micro.crossover import find_crossovers
+
+    if scale() == "full":
+        # Paper-sized: up to 1MB copies on the Table I machine.
+        from repro import SystemConfig
+        from repro.common.units import KB, MB
+        rows = run_once(benchmark, figure23,
+                        sizes=(4 * KB, 64 * KB, 1 * MB),
+                        config=SystemConfig())
+    else:
+        rows = run_once(benchmark, figure23)
+    emit("figure23", rows,
+         "Figure 23: copy-backend crossover (copy + 25% dest read)")
+
+    # Every backend must complete end-to-end with correct final bytes.
+    assert all(r["verified"] for r in rows)
+    backends = {r["backend"] for r in rows}
+    assert backends == {"eager", "mclazy", "zio", "rowclone", "mirror"}
+
+    raw = [dict(r, size=r["size_bytes"]) for r in rows]
+    copy = {(r["backend"], r["size"], r["locality"]): r["copy_cycles"]
+            for r in raw}
+    sizes = sorted({r["size"] for r in raw})
+    big = sizes[-1]
+
+    # >= 1 measured crossover between lazy-MC and an in-DRAM backend.
+    flips = find_crossovers(raw)
+    assert any(f["rival"] in ("rowclone", "mirror")
+               and f["locality"] == "subarray" for f in flips), flips
+
+    # Subarray-local large copies: one FPM row copy per row beats both
+    # software mechanisms outright.
+    assert copy[("rowclone", big, "subarray")] < copy[("eager", big,
+                                                       "subarray")]
+    # Hash-scattered banks force PSM: strictly slower than FPM rows.
+    assert copy[("rowclone", big, "channel")] > copy[("rowclone", big,
+                                                      "subarray")]
+    # Mirroring never needs the read phase, so it beats RowClone's PSM
+    # path when the layout denies FPM.
+    assert copy[("mirror", big, "channel")] < copy[("rowclone", big,
+                                                    "channel")]
+    # Channel-incongruent buffers: the in-DRAM backends fall back to the
+    # identical eager software loop, cycle for cycle.
+    assert copy[("rowclone", big, "cross")] == copy[("eager", big, "cross")]
+    assert copy[("mirror", big, "cross")] == copy[("eager", big, "cross")]
+
+
+def test_fig23_pressure(benchmark):
+    """Bandwidth pressure: in-DRAM copies dodge the external bus."""
+    from repro.analysis.figures import figure23
+    from repro.common.units import KB
+
+    rows = run_once(benchmark, figure23,
+                    sizes=(64 * KB,),
+                    localities=("channel",),
+                    pressures=(False, True),
+                    backends=("eager", "mclazy", "mirror"))
+    emit("figure23_pressure", rows,
+         "Figure 23 (pressure): copy latency vs channel contention")
+
+    assert all(r["verified"] for r in rows)
+    copy = {(r["backend"], r["pressure"]): r["copy_cycles"] for r in rows}
+    # The eager loop shares the DRAM bus with the antagonist core.
+    assert copy[("eager", True)] > copy[("eager", False)]
+    # Mirror row copies happen inside the banks: immune to bus pressure.
+    assert copy[("mirror", True)] <= copy[("mirror", False)]
+    assert copy[("mirror", True)] < copy[("eager", True)]

@@ -5,29 +5,43 @@ Builds the paper's simulated system, performs a lazy copy, shows that no
 data moved, reads the destination (triggering bounces), and compares the
 cost against an eager ``memcpy`` — the essence of Figure 10.
 
-Run:  python examples/quickstart.py
+Any registered copy backend can stand in for the lazy side: pass
+``--backend rowclone`` (or mirror / zio / eager / mclazy) to time that
+mechanism through the same :mod:`repro.copyengine` dispatch the
+workloads use.
+
+Run:  python examples/quickstart.py [--backend mclazy]
 """
+
+import argparse
 
 from repro import System, SystemConfig
 from repro.common.units import KB
+from repro.copyengine import ALIASES, backend_names
 from repro.isa import ops
-from repro.sw.memcpy import memcpy_lazy_ops, memcpy_ops
+from repro.sw.memcpy import memcpy_lazy_ops
+from repro.workloads.common import engine_needs_ctt, make_engine
 
 SIZE = 16 * KB
 
 
-def timed_copy(lazy: bool) -> int:
-    """Cycles to complete one 16KB copy (plus fence)."""
-    system = System(SystemConfig())           # Table I, (MC)² enabled
-    src = system.alloc(SIZE, align=4096)
-    dst = system.alloc(SIZE, align=4096)
+def timed_copy(backend: str) -> int:
+    """Cycles to complete one 16KB copy (plus fence) under ``backend``."""
+    config = SystemConfig()                   # Table I machine
+    if not engine_needs_ctt(backend):
+        config = config.with_overrides(mcsquare_enabled=False)
+    system = System(config)
+    engine = make_engine(backend, system)
+    src = system.alloc(SIZE, align=16 * KB)
+    dst = system.alloc(SIZE, align=16 * KB)
     system.backing.fill(src, SIZE, 0xAB)
 
-    if lazy:
-        cycles = system.run_program(memcpy_lazy_ops(system, dst, src, SIZE))
-    else:
-        cycles = system.run_program(memcpy_ops(system, dst, src, SIZE))
+    def program():
+        yield from engine.copy_ops(dst, src, SIZE)
+        yield ops.mfence()
 
+    cycles = system.run_program(program())
+    system.drain()
     # Either way, the destination must hold the copied bytes.
     assert system.read_memory(dst, SIZE) == b"\xAB" * SIZE
     return cycles
@@ -60,11 +74,20 @@ def lazy_copy_then_read() -> None:
 
 
 def main() -> None:
-    eager = timed_copy(lazy=False)
-    lazy = timed_copy(lazy=True)
-    print(f"eager memcpy of 16KB: {eager} cycles ({eager/4:.0f} ns)")
-    print(f"lazy  memcpy of 16KB: {lazy} cycles ({lazy/4:.0f} ns)  "
-          f"-> {eager/lazy:.1f}x faster when the copy is not accessed")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend", default="mclazy",
+        choices=sorted(set(backend_names()) | set(ALIASES)),
+        help="copy backend to compare against the eager loop "
+             "(default: mclazy)")
+    args = parser.parse_args()
+
+    eager = timed_copy("eager")
+    other = timed_copy(args.backend)
+    print(f"eager memcpy of 16KB:  {eager} cycles ({eager/4:.0f} ns)")
+    print(f"{args.backend:8s} copy of 16KB: {other} cycles "
+          f"({other/4:.0f} ns)  -> {eager/other:.1f}x faster when the "
+          f"copy is not accessed")
     print()
     lazy_copy_then_read()
 

@@ -369,6 +369,44 @@ def figure22(txns: int = 20) -> List[Dict[str, object]]:
     return rows
 
 
+# --------------------------------------------------------------- Fig. 23
+def figure23(sizes: Optional[Sequence[int]] = None,
+             localities: Optional[Sequence[str]] = None,
+             fractions: Sequence[float] = (0.25,),
+             pressures: Sequence[bool] = (False,),
+             backends: Optional[Sequence[str]] = None,
+             config: Optional[SystemConfig] = None
+             ) -> List[Dict[str, object]]:
+    """Copy-backend crossover: lazy MC vs in-DRAM vs software copies.
+
+    Extension figure (not in the paper): every registered backend on the
+    crossover grid, with per-point copy latency, destination-access
+    latency, end-to-end cycles and DRAM traffic.  ``find_crossovers``
+    locates where the winner flips along the size axis.
+    """
+    from repro.workloads.micro.crossover import (LOCALITIES,
+                                                 sweep_backend_crossover)
+
+    rows = sweep_backend_crossover(
+        backends=backends or ("eager", "mclazy", "zio",
+                              "rowclone", "mirror"),
+        sizes=sizes or (4 * KB, 16 * KB, 64 * KB, 256 * KB),
+        localities=localities or LOCALITIES,
+        fractions=fractions,
+        pressures=pressures,
+        config=config or ACCESS_CONFIG)
+    return [{"backend": r["backend"], "size": pretty_size(r["size"]),
+             "locality": r["locality"], "fraction": r["fraction"],
+             "pressure": r["pressure"],
+             "copy_cycles": r["copy_cycles"],
+             "access_cycles": r["access_cycles"],
+             "total_cycles": r["total_cycles"],
+             "dram_accesses": r["dram_accesses"],
+             "verified": r["verified"],
+             "size_bytes": r["size"]}
+            for r in rows]
+
+
 # --------------------------------------------------------------- Table I
 def table1() -> List[Dict[str, object]]:
     """The simulated configuration (constants check)."""

@@ -400,6 +400,40 @@ class CacheHierarchy:
                      on_complete=lambda p: on_complete(self.sim.now))
         self._send(pkt)
 
+    def handle_inmem_copy(self, core: int, dst: int, src: int, size: int,
+                          mode: str,
+                          on_complete: Callable[[int], None]) -> None:
+        """Coherence boundary for an offloaded in-DRAM copy (LazyPIM).
+
+        Before DRAM copies rows underneath the caches, dirty source
+        lines must reach memory (or the clone would move stale bytes)
+        and cached destination lines must be invalidated (or the CPU
+        would keep reading pre-copy contents).  Same FIFO-write-buffer
+        argument as MCLAZY: the writebacks take link slots ahead of the
+        copy descriptor, and the interconnect scatters the descriptor to
+        every controller owning a share of the destination.
+        """
+        if self._trace is not None:
+            self._trace.instant("cache", "caches", "inmem-copy-preprocess",
+                                {"dst": hex(dst), "src": hex(src),
+                                 "size": size, "mode": mode})
+        for line in range(align_down(src, CACHELINE_SIZE),
+                          src + size, CACHELINE_SIZE):
+            data = self._clean_scan(self._caches, line)
+            if data is not None:
+                wb = Packet(PacketType.WRITE, line, CACHELINE_SIZE,
+                            requestor=core)
+                wb.data = data
+                self._writebacks.inc()
+                self._send(wb)
+        for line in range(dst, dst + size, CACHELINE_SIZE):
+            self._invalidate_everywhere(line)
+        pkt = Packet(PacketType.INMEM_COPY, dst, size, src_addr=src,
+                     requestor=core,
+                     on_complete=lambda p: on_complete(self.sim.now))
+        pkt.copy_mode = mode
+        self._send(pkt)
+
     def handle_mcfree(self, core: int, addr: int, size: int,
                       on_complete: Callable[[int], None]) -> None:
         """Forward an MCFREE hint to the memory controllers."""

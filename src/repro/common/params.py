@@ -139,3 +139,31 @@ ZIO_SKIPLIST_OP_CYCLES = ns_to_cycles(120.0)
 ZIO_ELISION_BASE_CYCLES = ns_to_cycles(4_000.0)
 ZIO_UNMAP_PER_PAGE_CYCLES = ns_to_cycles(125.0)
 INTERPOSER_MIN_LAZY_SIZE = 1 * KB  # §V-B: redirect memcpys >= 1KB
+
+# ------------------------------------------------- in-DRAM copy backends
+# RowClone (Seshadri et al., MICRO'13): FPM copies a row inside one
+# subarray with two back-to-back activations (~2 x tRAS), ~90ns and
+# 11.6x faster than the DDR3 baseline row copy; PSM moves data one
+# cacheline at a time over the internal bus (serial READ+WRITE pairs),
+# which for an 8KB row (128 lines) lands at ~1.4us — the paper's
+# reported inter-bank latency scaled to our row size.
+ROWCLONE_FPM_NS = 90.0
+ROWCLONE_PSM_PER_LINE_NS = 10.6
+ROWCLONE_FPM_CYCLES = ns_to_cycles(ROWCLONE_FPM_NS)
+ROWCLONE_PSM_PER_LINE_CYCLES = ns_to_cycles(ROWCLONE_PSM_PER_LINE_NS)
+ROWCLONE_SUBARRAY_ROWS = 512      # rows per subarray (MAT height): FPM
+                                  # reaches only same-subarray row pairs
+# In-Memory Mirroring: row cloning without the read phase — the sense
+# amplifiers drive both rows in one activation window, so a full-row
+# clone costs about one activate+precharge and runs per-bank-pair in
+# parallel (no internal bus occupancy).
+MIRROR_ROW_NS = 45.0
+MIRROR_ROW_CYCLES = ns_to_cycles(MIRROR_ROW_NS)
+# LazyPIM-style coherence at the CPU boundary: before an offloaded copy
+# the host flushes dirty source lines and invalidates destination lines
+# (the hierarchy generates the actual writebacks); the bookkeeping —
+# signature lookup, permission check, per-line directory probe — is
+# charged on the issuing core.
+INMEM_COHERENCE_BASE_NS = 120.0
+INMEM_COHERENCE_BASE_CYCLES = ns_to_cycles(INMEM_COHERENCE_BASE_NS)
+INMEM_COHERENCE_PER_LINE_CYCLES = 1

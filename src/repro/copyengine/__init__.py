@@ -1,0 +1,53 @@
+"""Pluggable copy-engine backends (the lazy-vs-PIM design space).
+
+Five registered backends behind one interface:
+
+========== ==========================================================
+``eager``   native software ``memcpy`` loop (paper baseline)
+``mclazy``  (MC)² lazy MemCopy at the memory controller (CTT/BPQ)
+``zio``     zIO page-granularity copy elision (copy-on-access faults)
+``rowclone`` in-DRAM subarray row copy (FPM / PSM, RowClone)
+``mirror``  In-Memory Mirroring (parallel clone, no read phase)
+========== ==========================================================
+
+Select one with ``SystemConfig(copy_backend=...)`` and build it with
+``system.copy_backend()``, or construct directly via
+:func:`make_backend`.  See ``docs/COPYENGINE.md`` for the interface
+contract and the measured crossover study.
+"""
+
+from repro.copyengine.base import CopyBackend
+from repro.copyengine.registry import (
+    ALIASES,
+    BACKENDS,
+    backend_names,
+    canonical_name,
+    known_backend,
+    make_backend,
+    needs_ctt,
+    register_backend,
+)
+from repro.copyengine.software import EagerBackend, McLazyBackend, ZioBackend
+from repro.copyengine.indram import (
+    InMemCopyBackend,
+    MirrorBackend,
+    RowCloneBackend,
+)
+
+__all__ = [
+    "ALIASES",
+    "BACKENDS",
+    "CopyBackend",
+    "EagerBackend",
+    "InMemCopyBackend",
+    "McLazyBackend",
+    "MirrorBackend",
+    "RowCloneBackend",
+    "ZioBackend",
+    "backend_names",
+    "canonical_name",
+    "known_backend",
+    "make_backend",
+    "needs_ctt",
+    "register_backend",
+]

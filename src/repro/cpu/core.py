@@ -42,6 +42,7 @@ _ISSUE_COST = {
     OpKind.CLWB: params.CLWB_ISSUE_CYCLES,
     OpKind.MCLAZY: params.MCLAZY_ISSUE_CYCLES,
     OpKind.MCFREE: params.MCLAZY_ISSUE_CYCLES,
+    OpKind.INMEM_COPY: params.MCLAZY_ISSUE_CYCLES,
     OpKind.MFENCE: 1,
     OpKind.COMPUTE: 0,
     OpKind.BULK_COPY: 1,
@@ -249,7 +250,8 @@ class Core:
 
     # -------------------------------------------------------------- issue
     _SB_KINDS = frozenset((OpKind.STORE, OpKind.NT_STORE, OpKind.CLWB,
-                           OpKind.CLWB_RANGE, OpKind.MCLAZY, OpKind.MCFREE))
+                           OpKind.CLWB_RANGE, OpKind.MCLAZY, OpKind.MCFREE,
+                           OpKind.INMEM_COPY))
 
     @staticmethod
     def _needs_sb_slot(op: Op) -> bool:
@@ -370,6 +372,20 @@ class Core:
                 [(op.src_addr, op.size), (op.addr, op.size)],
                 lambda: self.hierarchy.handle_mclazy(
                     self.core_id, op.addr, op.src_addr, op.size,
+                    lambda finish: self._sb_free()))
+        elif kind is OpKind.INMEM_COPY:
+            # Offloaded in-DRAM copy: issues like MCLAZY (descriptor
+            # build + send) but the store-buffer slot is held until
+            # every channel finishes its share, so a later MFENCE
+            # orders after the clone itself, not just the send.
+            self._sb_used += 1
+            self.sim.schedule(1, lambda: self._complete(op),
+                              label="inmem-copy-issued")
+            self._dispatch_after_stores(
+                [(op.src_addr, op.size), (op.addr, op.size)],
+                lambda: self.hierarchy.handle_inmem_copy(
+                    self.core_id, op.addr, op.src_addr, op.size,
+                    op.copy_mode or "rowclone",
                     lambda finish: self._sb_free()))
         elif kind is OpKind.MCFREE:
             self._sb_used += 1

@@ -41,6 +41,17 @@ class DramChannel:
         self._row_conflicts = stats.counter("row_conflicts", "row-buffer conflicts")
         self._busy_cycles = stats.counter("bus_busy_cycles", "data-bus occupancy")
         self._accesses = stats.counter("accesses", "total device accesses")
+        # In-DRAM copy (repro.copyengine rowclone/mirror backends).  Row
+        # copies are deliberately *not* counted as accesses: they move
+        # data without occupying the external channel bus (except PSM).
+        self._copies_fpm = stats.counter(
+            "row_copies_fpm", "RowClone fast-parallel-mode row copies")
+        self._copies_psm = stats.counter(
+            "row_copies_psm", "RowClone pipelined-serial-mode transfers")
+        self._copies_mirror = stats.counter(
+            "row_copies_mirror", "in-memory-mirroring row clones")
+        self._copy_lines = stats.counter(
+            "row_copy_lines", "cachelines moved by in-DRAM copies")
         # Optional repro.obs tracer (set by runtime.attach_tracer) and
         # this channel's trace track name.  The "dram" category is a
         # firehose (one event per device access) and is off by default.
@@ -93,6 +104,59 @@ class DramChannel:
             self._trace.complete("dram", self._track, "access", start, done,
                                  {"bank": loc.bank, "row": loc.row,
                                   "kind": kind})
+        return done
+
+    @rendezvous("dram-rowclone")
+    def row_copy(self, src_loc: DramLocation, dst_loc: DramLocation,
+                 now: int, mode: str, lines: int) -> int:
+        """Copy ``lines`` cachelines from ``src_loc`` to ``dst_loc`` in DRAM.
+
+        ``mode`` is the mechanism the controller chose for this job:
+
+        * ``"fpm"`` — RowClone fast parallel mode: back-to-back
+          activations within one subarray clone the whole row without
+          touching the channel bus.  Both banks (one, when src and dst
+          share a bank) are busy for the activation window.
+        * ``"mirror"`` — In-Memory Mirroring: one activation window
+          drives both rows, no read phase, no bus occupancy.
+        * ``"psm"`` — RowClone pipelined serial mode: one cacheline at a
+          time through the internal bus, serializing against ordinary
+          data bursts (this is where bandwidth pressure bites).
+
+        Returns the completion cycle.  Like :meth:`access`, ``now`` is
+        the cycle the command reaches the device; bank/bus state is a
+        busy-until model, so calls compute future completion times
+        deterministically in grant order.
+        """
+        src_bank = self.banks[src_loc.bank]
+        dst_bank = self.banks[dst_loc.bank]
+        start = max(now, src_bank.ready_at, dst_bank.ready_at)
+        if mode == "fpm":
+            done = start + params.ROWCLONE_FPM_CYCLES
+            self._copies_fpm.value += 1
+        elif mode == "mirror":
+            done = start + params.MIRROR_ROW_CYCLES
+            self._copies_mirror.value += 1
+        else:  # psm
+            start = max(start, self.bus_free_at)
+            done = start + lines * params.ROWCLONE_PSM_PER_LINE_CYCLES
+            self.bus_free_at = done
+            self._busy_cycles.value += done - start
+            self._copies_psm.value += 1
+        # Both banks end the copy with the touched rows activated (FPM's
+        # AAP sequence leaves the destination row in the row buffer;
+        # PSM's serial transfers keep both rows open throughout).
+        src_bank.ready_at = done
+        dst_bank.ready_at = done
+        src_bank.open_row = src_loc.row
+        dst_bank.open_row = dst_loc.row
+        self._copy_lines.value += lines
+        if self._trace is not None:
+            self._trace.complete("dram", self._track, f"rowcopy-{mode}",
+                                 start, done,
+                                 {"src_bank": src_loc.bank,
+                                  "dst_bank": dst_loc.bank,
+                                  "lines": lines})
         return done
 
     def earliest_start(self, now: int) -> int:

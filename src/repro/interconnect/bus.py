@@ -51,7 +51,8 @@ _TYPE_RANK = {
     PacketType.MCLAZY: 1,
     PacketType.MCFREE: 2,
     PacketType.CTT_UPDATE: 3,
-    PacketType.READ: 4,
+    PacketType.INMEM_COPY: 4,
+    PacketType.READ: 5,
 }
 
 
@@ -125,6 +126,16 @@ class Interconnect:
                 extra_delay, duplicate = fault
                 when += extra_delay
 
+        if pkt.ptype is PacketType.INMEM_COPY:
+            # In-DRAM copies fan out like control broadcasts, but each
+            # controller executes a *share* of the work (the destination
+            # lines its channel owns), so delivery is a scatter-join:
+            # one child packet per controller, one link slot each, and
+            # the parent completes when the last child does.  No
+            # link-replay duplication — children are created here, and
+            # a replayed copy would only re-apply identical bytes.
+            self._deliver_inmem(pkt, when)
+            return
         if pkt.ptype in (PacketType.MCLAZY, PacketType.MCFREE):
             # Broadcast: all CTT replicas observe it; the controller that
             # owns the (first line of the) destination performs the shared
@@ -147,6 +158,27 @@ class Interconnect:
             self._last_delivery = when + 1
             self.sim.schedule_at(when + 1, lambda: owner.receive(pkt),
                                  label=_DUP_LABEL[pkt.ptype])
+
+    def _deliver_inmem(self, pkt: Packet, when: int) -> None:
+        self._broadcasts.inc()
+        when += params.BROADCAST_CYCLES
+        self._last_delivery = when + len(self.controllers) - 1
+        state = {"left": len(self.controllers)}
+
+        def _child_done(_child: Packet) -> None:
+            state["left"] -= 1
+            if state["left"] == 0:
+                pkt.complete(self.sim.now)
+
+        label = _DELIVER_LABEL[pkt.ptype]
+        for slot, mc in enumerate(self.controllers):
+            child = Packet(PacketType.INMEM_COPY, pkt.addr, pkt.size,
+                           src_addr=pkt.src_addr, on_complete=_child_done,
+                           requestor=pkt.requestor)
+            child.copy_mode = pkt.copy_mode
+            self.sim.schedule_at(when + slot,
+                                 lambda mc=mc, child=child: mc.receive(child),
+                                 label=label)
 
     def _owner(self, addr: int) -> MemoryController:
         channel = self.controllers[0].address_map.channel_of(addr)

@@ -29,6 +29,7 @@ class OpKind(enum.Enum):
     MFENCE = "mfence"          # order all prior memory ops
     COMPUTE = "compute"        # non-memory work occupying the pipeline
     BULK_COPY = "bulk_copy"    # rep-movsb-style line-granular kernel copy
+    INMEM_COPY = "inmem_copy"  # in-DRAM row copy (RowClone / mirroring)
 
 
 class Op:
@@ -54,8 +55,8 @@ class Op:
     """
 
     __slots__ = ("kind", "addr", "size", "src_addr", "data", "blocking",
-                 "cycles", "on_retire", "issued_at", "completed_at",
-                 "retired_at", "value")
+                 "cycles", "on_retire", "copy_mode", "issued_at",
+                 "completed_at", "retired_at", "value")
 
     def __init__(
         self,
@@ -76,6 +77,7 @@ class Op:
         self.blocking = blocking
         self.cycles = cycles
         self.on_retire = on_retire
+        self.copy_mode: Optional[str] = None  # INMEM_COPY: rowclone|mirror
         self.issued_at: Optional[int] = None
         self.completed_at: Optional[int] = None
         self.retired_at: Optional[int] = None
@@ -146,6 +148,24 @@ def mfence() -> Op:
 def compute(cycles: int) -> Op:
     """Non-memory work occupying ``cycles`` of pipeline time."""
     return Op(OpKind.COMPUTE, cycles=cycles)
+
+
+def inmem_copy(dst: int, src: int, size: int, mode: str = "rowclone") -> Op:
+    """Offload a copy of ``size`` bytes from ``src`` to ``dst`` to DRAM.
+
+    Contract (mirrors MCLAZY's §III-C shape): both addresses
+    cacheline-aligned, ``size`` a cacheline multiple, and every
+    source/destination line pair resident on the *same* channel — the
+    issuing backend (:mod:`repro.copyengine.indram`) checks channel
+    congruence and falls back to the software loop otherwise.  ``mode``
+    selects the in-DRAM mechanism: ``"rowclone"`` (FPM/PSM per
+    RowClone) or ``"mirror"`` (In-Memory Mirroring).  The op holds a
+    store-buffer slot until every channel reports completion, so an
+    MFENCE after it observes the finished copy.
+    """
+    op = Op(OpKind.INMEM_COPY, addr=dst, src_addr=src, size=size)
+    op.copy_mode = mode
+    return op
 
 
 def bulk_copy(dst: int, src: int, size: int) -> Op:

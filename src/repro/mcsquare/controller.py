@@ -64,9 +64,13 @@ class McSquareController(MemoryController):
         ctt_retry_cycles: int = params.CTT_RETRY_CYCLES,
         ctt_retry_limit: Optional[int] = None,
         bpq_overflow_timeout: Optional[int] = None,
+        inmem_layout: str = "hash",
+        inmem_subarray_rows: int = params.ROWCLONE_SUBARRAY_ROWS,
     ):
         super().__init__(sim, channel_id, address_map, backing, stats,
-                         wpq_entries=wpq_entries, rpq_entries=rpq_entries)
+                         wpq_entries=wpq_entries, rpq_entries=rpq_entries,
+                         inmem_layout=inmem_layout,
+                         inmem_subarray_rows=inmem_subarray_rows)
         self.ctt = ctt
         self.bpq = BouncePendingQueue(bpq_entries, stats.group("bpq"),
                                       name=f"bpq{channel_id}",

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Deque, Dict
 
 from repro.common import params
+from repro.common.errors import SimulationError
 from repro.dram.address_map import AddressMap
 from repro.dram.device import DramChannel
 from repro.mem.backing_store import BackingStore
@@ -41,6 +42,8 @@ class MemoryController:
         stats: StatGroup,
         wpq_entries: int = params.MC_WPQ_ENTRIES,
         rpq_entries: int = params.MC_RPQ_ENTRIES,
+        inmem_layout: str = "hash",
+        inmem_subarray_rows: int = params.ROWCLONE_SUBARRAY_ROWS,
     ):
         self.sim = sim
         self.channel_id = channel_id
@@ -50,6 +53,13 @@ class MemoryController:
         self.channel = DramChannel(stats.group("dram"))
         self.wpq_entries = wpq_entries
         self.rpq_entries = rpq_entries
+        # In-DRAM copy placement model (repro.copyengine rowclone/mirror):
+        # "hash" keeps the avalanche bank hash (row pairs almost never
+        # share a subarray, so RowClone degrades to PSM); "ideal" models
+        # RowClone's OS/allocator support placing copy pairs in the same
+        # subarray, making FPM reachable.
+        self.inmem_layout = inmem_layout
+        self.inmem_subarray_rows = inmem_subarray_rows
         self._wpq: Deque[Packet] = deque()
         self._wpq_overflow: Deque[Packet] = deque()
         # addr -> count of buffered writes covering it (for forwarding).
@@ -73,6 +83,8 @@ class MemoryController:
         self._write_drains = stats.counter("write_drains", "WPQ entries drained")
         self._wpq_rejects = stats.counter(
             "wpq_rejects", "writes refused because the WPQ was too full")
+        self._inmem_copies = stats.counter(
+            "inmem_copies", "in-DRAM copy packets serviced")
         self._read_latency = stats.distribution(
             "read_latency", "cycles from MC arrival to data return",
             keep_samples=False)
@@ -111,8 +123,107 @@ class MemoryController:
 
     def _handle_control(self, pkt: Packet) -> None:
         """Baseline controller ignores (MC)² control packets."""
+        if pkt.ptype is PacketType.INMEM_COPY:
+            self._handle_inmem_copy(pkt)
+            return
         self.sim.schedule(1, lambda: pkt.complete(self.sim.now),
                           label="mc-control-ack")
+
+    # ------------------------------------------------------ in-DRAM copy
+    def _handle_inmem_copy(self, pkt: Packet) -> None:
+        """Execute this channel's share of an in-DRAM copy descriptor.
+
+        The interconnect broadcasts one child packet per controller;
+        each controller copies only the destination lines its channel
+        owns.  Functional data is applied at arrival (MC-observed order
+        defines memory contents, same as posted writes); timing runs the
+        row-copy jobs through the per-cycle DRAM arbiter so same-cycle
+        grants stay in canonical order.
+        """
+        jobs = self._inmem_jobs(pkt)
+        if not jobs:
+            self.sim.schedule(1, lambda: pkt.complete(self.sim.now),
+                              label="mc-inmem-ack")
+            return
+        self._inmem_copies.inc()
+        if self._trace is not None:
+            self._trace.instant("mc", self._track, "inmem-copy",
+                                {"addr": hex(pkt.addr), "size": pkt.size,
+                                 "jobs": len(jobs)})
+        state = {"left": len(jobs), "done": 0}
+
+        def _granted(done: int) -> None:
+            state["left"] -= 1
+            if done > state["done"]:
+                state["done"] = done
+            if state["left"] == 0:
+                finish = state["done"] + params.MC_STATIC_LATENCY_CYCLES
+                self.sim.schedule_at(finish,
+                                     lambda: pkt.complete(self.sim.now),
+                                     label="mc-inmem-done")
+
+        for key, run_job in jobs:
+            self.dram_request(run_job, key, _granted,
+                              extra=params.MC_STATIC_LATENCY_CYCLES)
+
+    def _inmem_jobs(self, pkt: Packet) -> list:
+        """Group this channel's line pairs into row-copy jobs.
+
+        Returns ``[(grant_key, job_callable), ...]`` where each callable
+        runs one :meth:`DramChannel.row_copy` when granted.  A job is
+        one (source row, destination row) pair; a *full* pair (every
+        line of the destination row covered, sources all in one row —
+        i.e. the copy offset is row-aligned) is eligible for FPM /
+        mirroring, anything partial falls back to PSM's serial per-line
+        transfer.
+        """
+        amap = self.address_map
+        line_bytes = amap.row_bytes // amap.lines_per_row
+        # job key -> [src_loc, dst_loc, first_dst_addr, lines]
+        groups: Dict[tuple, list] = {}
+        for off in range(0, pkt.size, line_bytes):
+            dst_line = pkt.addr + off
+            if not self.owns(dst_line):
+                continue
+            src_line = pkt.src_addr + off
+            src_loc = amap.decode(src_line)
+            if src_loc.channel != self.channel_id:
+                raise SimulationError(
+                    "INMEM_COPY pair crosses channels: the issuing "
+                    f"backend must guarantee congruence (src {src_line:#x} "
+                    f"on ch{src_loc.channel}, dst {dst_line:#x} on "
+                    f"ch{self.channel_id})")
+            dst_loc = amap.decode(dst_line)
+            self.backing.copy(dst_line, src_line, line_bytes)
+            key = (src_loc.bank, src_loc.row, dst_loc.bank, dst_loc.row)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [src_loc, dst_loc, dst_line, 1]
+            else:
+                group[3] += 1
+        jobs = []
+        for src_loc, dst_loc, first_dst, lines in groups.values():
+            mode = self._inmem_mode(pkt.copy_mode, src_loc, dst_loc, lines)
+            jobs.append((
+                (self.DRAM_RANK_MATERIALIZE, first_dst),
+                lambda at, s=src_loc, d=dst_loc, m=mode, n=lines:
+                    self.channel.row_copy(s, d, at, m, n),
+            ))
+        return jobs
+
+    def _inmem_mode(self, requested, src_loc, dst_loc, lines: int) -> str:
+        """Pick the DRAM mechanism for one row-pair job."""
+        if lines < self.address_map.lines_per_row:
+            return "psm"  # partial rows cannot be cloned wholesale
+        if requested == "mirror":
+            return "mirror"
+        if self.inmem_layout == "ideal":
+            return "fpm"
+        same_subarray = (
+            src_loc.bank == dst_loc.bank
+            and src_loc.row // self.inmem_subarray_rows
+            == dst_loc.row // self.inmem_subarray_rows)
+        return "fpm" if same_subarray else "psm"
 
     # ---------------------------------------------------- DRAM arbitration
     # Canonical same-cycle grant order: reads first (latency-critical,
@@ -150,7 +261,13 @@ class MemoryController:
             pending.sort(key=lambda req: req[0])
         now = self.sim.now
         for _key, loc, extra, on_grant in pending:
-            on_grant(self.channel.access(loc, now + extra))
+            # ``loc`` is either a decoded DramLocation for an ordinary
+            # cacheline access, or (for in-DRAM copy jobs) a callable
+            # that runs its own device operation at the granted cycle.
+            if callable(loc):
+                on_grant(loc(now + extra))
+            else:
+                on_grant(self.channel.access(loc, now + extra))
 
     # ---------------------------------------------------------- mechanics
     def _service_read_from_memory(self, pkt: Packet,

@@ -133,6 +133,10 @@ def attach_tracer(system, config: Optional[TraceConfig] = None) -> Tracer:
         tracer.track(f"dram{mc.channel_id}")
     tracer.track("faults")
     tracer.track("metrics")
+    # Appended after the canonical tracks, and only when requested by
+    # name, so default-category exports keep their historical track ids.
+    if tracer.wants("copyengine"):
+        tracer.track("copyengine")
 
     system.sim.enable_tracing(tracer.on_engine_event)
     tracer.sampler = MetricsSampler(system, tracer)

@@ -38,12 +38,17 @@ CATEGORIES = frozenset({
     "dram",      # per-access DRAM timing (firehose)
     "faults",    # fault-injector instants (bitflips, drops, link faults)
     "sampler",   # periodic StatGroup counter snapshots
+    "copyengine",  # copy-backend request spans (repro.copyengine)
 })
 
 #: Categories enabled by ``REPRO_TRACE=on``.  The two firehoses
 #: ("engine", "dram") are opt-in by name: they dominate ring capacity on
 #: any non-trivial run without adding copy-lifecycle information.
-DEFAULT_CATEGORIES = frozenset(CATEGORIES - {"engine", "dram"})
+#: "copyengine" is also opt-in, but for byte-stability: the golden
+#: traces predate the backend registry, and enabling it by default
+#: would add a track and spans to every default-category export.
+DEFAULT_CATEGORIES = frozenset(CATEGORIES - {"engine", "dram",
+                                             "copyengine"})
 
 DEFAULT_CAPACITY = 262_144
 DEFAULT_SAMPLE_EVERY = 2_048

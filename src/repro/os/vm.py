@@ -202,14 +202,19 @@ class OperatingSystem:
         pte.cow = False
 
     def cow_store_ops(self, space: AddressSpace, vaddr: int, size: int,
-                      engine, data: Optional[bytes] = None,
+                      engine=None, data: Optional[bytes] = None,
                       on_retire=None) -> Iterator[Op]:
         """A store through the VM layer, servicing a COW fault if raised.
 
         This is the convenience path the Fig. 18 workload uses: kernel
         entry cost, page copy through ``engine``, PTE fixup, then the
-        user store.
+        user store.  ``engine`` defaults to the machine's configured
+        copy backend (``SystemConfig.copy_backend``), so the kernel COW
+        path dispatches through :mod:`repro.copyengine` like userspace
+        ``memcpy`` does.
         """
+        if engine is None:
+            engine = self.system.copy_backend()
         try:
             paddr = space.translate(vaddr, write=True)
         except CowFault:

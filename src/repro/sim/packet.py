@@ -24,6 +24,7 @@ class PacketType(enum.Enum):
     MCLAZY = "mclazy"            # register a prospective copy (broadcast)
     MCFREE = "mcfree"            # drop CTT entries covered by a buffer
     CTT_UPDATE = "ctt_update"    # inter-MC snoop keeping CTTs consistent
+    INMEM_COPY = "inmem_copy"    # in-DRAM row copy (RowClone / mirroring)
 
 
 @shared
@@ -58,7 +59,7 @@ class Packet:
     __slots__ = (
         "ptype", "addr", "size", "src_addr", "on_complete",
         "requestor", "is_prefetch", "is_bounce", "is_async_copy",
-        "issued_at", "completed_at", "data", "poisoned",
+        "copy_mode", "issued_at", "completed_at", "data", "poisoned",
     )
 
     def __init__(
@@ -82,6 +83,7 @@ class Packet:
         self.is_prefetch = False
         self.is_bounce = False
         self.is_async_copy = False
+        self.copy_mode: Optional[str] = None  # INMEM_COPY: rowclone|mirror
         self.issued_at: Optional[int] = None
         self.completed_at: Optional[int] = None
         self.data: Optional[bytes] = None

@@ -120,6 +120,17 @@ def interposed_memcpy_ops(
         yield from memcpy_ops(system, dst, src, size)
 
 
+def memcpy_backend_ops(system, dst: int, src: int, size: int) -> Iterator[Op]:
+    """Dispatch one copy through the machine's configured copy backend.
+
+    The backend comes from ``SystemConfig.copy_backend`` via
+    ``System.copy_backend()`` (see :mod:`repro.copyengine`), so the same
+    call site runs eager / mclazy / zio / rowclone / mirror depending on
+    configuration alone.
+    """
+    yield from system.copy_backend().copy_ops(dst, src, size)
+
+
 def touch_ops(addr: int, size: int,
               stride: int = CACHELINE_SIZE) -> Iterator[Op]:
     """Read every ``stride``-th byte, pulling the region into the caches.

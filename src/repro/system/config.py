@@ -48,6 +48,17 @@ class SystemConfig:
     ctt_retry_limit: "int | None" = None
     bpq_overflow_timeout: "int | None" = None
 
+    # Copy-engine backend (repro.copyengine).  ``copy_backend`` selects
+    # the mechanism System.copy_backend() builds; the remaining fields
+    # are per-backend parameters routed by each backend's
+    # ``config_kwargs`` (software backends) or the MemoryController
+    # constructor (in-DRAM backends).
+    copy_backend: str = "mclazy"
+    copy_min_lazy: int = 0                # mclazy: interposer threshold
+    zio_min_elision: int = params.ZIO_MIN_ELISION_SIZE
+    inmem_layout: str = "hash"            # rowclone: "hash" | "ideal"
+    inmem_subarray_rows: int = params.ROWCLONE_SUBARRAY_ROWS
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` on nonsensical settings."""
         if self.num_cpus <= 0:
@@ -66,6 +77,25 @@ class SystemConfig:
                 and self.bpq_overflow_timeout <= 0:
             raise ConfigError("BPQ overflow timeout must be positive "
                               "(or None)")
+        # Import here, not at module top: copyengine imports the sw
+        # layer, which would cycle back through configs at import time.
+        from repro.copyengine.registry import backend_names, known_backend
+        if not known_backend(self.copy_backend):
+            raise ConfigError(
+                f"unknown copy_backend {self.copy_backend!r}; known "
+                f"backends: {', '.join(backend_names())}")
+        if self.copy_min_lazy < 0:
+            raise ConfigError("copy_min_lazy must be >= 0")
+        if self.zio_min_elision < params.ZIO_MIN_ELISION_SIZE:
+            raise ConfigError(
+                "zio_min_elision below one page is meaningless: zIO can "
+                "only remap whole pages")
+        if self.inmem_layout not in ("hash", "ideal"):
+            raise ConfigError(
+                f"inmem_layout must be 'hash' or 'ideal', "
+                f"got {self.inmem_layout!r}")
+        if self.inmem_subarray_rows <= 0:
+            raise ConfigError("inmem_subarray_rows must be positive")
 
     def with_overrides(self, **kwargs) -> "SystemConfig":
         """A copy of this config with fields replaced."""

@@ -56,6 +56,9 @@ class System:
 
         self.ctt: Optional[CopyTrackingTable] = None
         self.controllers: List[MemoryController] = []
+        # Copy backends are built lazily by copy_backend(): most runs
+        # use one, and construction must come after the machine exists.
+        self._copy_backends: Dict[str, object] = {}
         if self.config.mcsquare_enabled:
             self.ctt = CopyTrackingTable(self.config.ctt_entries,
                                          self.stats.group("ctt"),
@@ -72,6 +75,8 @@ class System:
                     ctt_retry_cycles=self.config.ctt_retry_cycles,
                     ctt_retry_limit=self.config.ctt_retry_limit,
                     bpq_overflow_timeout=self.config.bpq_overflow_timeout,
+                    inmem_layout=self.config.inmem_layout,
+                    inmem_subarray_rows=self.config.inmem_subarray_rows,
                 ))
             for mc in self.controllers:
                 mc.peers = [m for m in self.controllers if m is not mc]
@@ -80,6 +85,8 @@ class System:
                 self.controllers.append(MemoryController(
                     self.sim, ch, self.address_map, self.backing,
                     self.stats.group(f"mc{ch}"),
+                    inmem_layout=self.config.inmem_layout,
+                    inmem_subarray_rows=self.config.inmem_subarray_rows,
                 ))
 
         self.interconnect = Interconnect(self.sim, self.controllers,
@@ -108,6 +115,23 @@ class System:
     def _now(self) -> int:
         """Current simulation cycle (CTT copy-lifetime clock)."""
         return self.sim.now
+
+    # ------------------------------------------------------- copy backend
+    def copy_backend(self, name: Optional[str] = None, **overrides):
+        """The copy backend this machine is configured for.
+
+        ``name`` defaults to ``config.copy_backend``; backends are
+        cached per canonical name so repeated calls share tracking
+        state (zio's elision map, stats).  Passing ``overrides`` builds
+        a fresh, uncached instance.
+        """
+        from repro.copyengine import canonical_name, make_backend
+        backend = canonical_name(name or self.config.copy_backend)
+        if overrides:
+            return make_backend(backend, self, **overrides)
+        if backend not in self._copy_backends:
+            self._copy_backends[backend] = make_backend(backend, self)
+        return self._copy_backends[backend]
 
     # --------------------------------------------------------- allocation
     def alloc(self, size: int, align: int = CACHELINE_SIZE) -> int:

@@ -6,12 +6,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
-from repro.common.errors import ConfigError
 from repro.common.units import CACHELINE_SIZE
 from repro.isa import ops
 from repro.isa.ops import Op
-from repro.sw.engine import CopyEngine, EagerEngine, LazyEngine
-from repro.zio.engine import ZioEngine
+from repro.sw.engine import CopyEngine
 
 
 def rng(seed: int = 1234) -> random.Random:
@@ -115,13 +113,28 @@ class NullCopyEngine(CopyEngine):
 
 
 def make_engine(name: str, system, **kwargs) -> CopyEngine:
-    """Factory: ``memcpy`` / ``mcsquare`` / ``zio`` / ``nocopy``."""
-    if name in ("memcpy", "baseline", "eager"):
-        return EagerEngine(system)
-    if name in ("mcsquare", "mc2", "lazy"):
-        return LazyEngine(system, **kwargs)
-    if name == "zio":
-        return ZioEngine(system, **kwargs)
+    """Factory over the :mod:`repro.copyengine` registry.
+
+    Accepts every registered backend name plus the historical aliases
+    (``memcpy``/``baseline`` → eager, ``mcsquare``/``mc2``/``lazy`` →
+    mclazy) and the measurement-only ``nocopy`` pseudo-engine, which is
+    not a real backend (it does not preserve data).
+    """
     if name == "nocopy":
         return NullCopyEngine(system)
-    raise ConfigError(f"unknown engine {name!r}")
+    from repro.copyengine import make_backend
+    return make_backend(name, system, **kwargs)
+
+
+def engine_needs_ctt(name: str) -> bool:
+    """True when ``name`` requires an (MC)²-enabled machine.
+
+    Workload builders use this to flip ``mcsquare_enabled`` off for
+    backends that don't use the CTT, so baseline/zio/in-DRAM variants
+    run on a vanilla controller exactly as before the backend registry
+    existed.
+    """
+    if name in ("nocopy", "native"):
+        return False
+    from repro.copyengine import needs_ctt
+    return needs_ctt(name)

@@ -25,7 +25,8 @@ from repro.common.units import HUGE_PAGE_SIZE, MB
 from repro.isa import ops
 from repro.os.vm import OperatingSystem
 from repro.sw.engine import KernelEagerEngine, LazyEngine
-from repro.workloads.common import LatencyRecorder, rng
+from repro.workloads.common import (LatencyRecorder, engine_needs_ctt,
+                                    make_engine, rng)
 
 
 class HugePageCowWorkload:
@@ -35,7 +36,7 @@ class HugePageCowWorkload:
                  num_updates: int = 100,
                  config: Optional[SystemConfig] = None, seed: int = 17):
         config = config or SystemConfig()
-        if engine_name in ("memcpy", "native") and config.mcsquare_enabled:
+        if not engine_needs_ctt(engine_name) and config.mcsquare_enabled:
             config = config.with_overrides(mcsquare_enabled=False)
         self.config = config
         self.system = System(config)
@@ -43,13 +44,18 @@ class HugePageCowWorkload:
         if engine_name in ("memcpy", "native"):
             self.engine = KernelEagerEngine(self.system)
             self.engine_name = "native"
-        else:
+        elif engine_name in ("mcsquare", "mc2", "lazy", "mclazy"):
             # Kernel lazy path: huge-page contiguity, hardware handles
             # dirty-source writeback at MCLAZY time.
             self.engine = LazyEngine(self.system,
                                      page_size=HUGE_PAGE_SIZE,
                                      clwb_sources=False)
             self.engine_name = "mcsquare"
+        else:
+            # Any registered copy backend (zio / rowclone / mirror ...):
+            # the COW handler copies whole huge pages through it.
+            self.engine = make_engine(engine_name, self.system)
+            self.engine_name = engine_name
         self.region_size = region_size
         self.num_updates = num_updates
         self.seed = seed

@@ -1,3 +1,3 @@
-"""Microbenchmarks for Figures 10-13 and 21."""
+"""Microbenchmarks for Figures 10-13, 21 and 23."""
 
-__all__ = ["latency", "access", "srcwrite"]
+__all__ = ["latency", "access", "srcwrite", "crossover"]

@@ -21,13 +21,14 @@ from typing import Dict, List, Optional
 from repro import System, SystemConfig
 from repro.common.units import CACHELINE_SIZE, MB
 from repro.isa import ops
-from repro.workloads.common import (LatencyRecorder, fill_pattern,
+from repro.workloads.common import (LatencyRecorder, engine_needs_ctt,
+                                    fill_pattern,
                                     make_engine, rng)
 
 
 def _build_system(engine_name: str, config: SystemConfig,
                   **engine_kwargs):
-    if engine_name in ("memcpy", "zio", "nocopy") and config.mcsquare_enabled:
+    if not engine_needs_ctt(engine_name) and config.mcsquare_enabled:
         config = config.with_overrides(mcsquare_enabled=False)
     system = System(config)
     engine = make_engine(engine_name, system, **engine_kwargs)

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional
 from repro import System, SystemConfig
 from repro.isa import ops
 from repro.sw.memcpy import memcpy_lazy_ops, touch_ops
-from repro.workloads.common import LatencyRecorder, fill_pattern, make_engine
+from repro.workloads.common import (LatencyRecorder, engine_needs_ctt,
+                                    fill_pattern, make_engine)
 
 
 def measure_copy_latency(engine_name: str, size: int,
@@ -29,7 +30,7 @@ def measure_copy_latency(engine_name: str, size: int,
     Returns ``{"cycles": ..., "ns": ...}``.
     """
     config = config or SystemConfig()
-    if engine_name in ("memcpy", "zio", "nocopy") and config.mcsquare_enabled:
+    if not engine_needs_ctt(engine_name) and config.mcsquare_enabled:
         config = config.with_overrides(mcsquare_enabled=False)
     system = System(config)
     engine = make_engine(engine_name, system)

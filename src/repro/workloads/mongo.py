@@ -24,7 +24,8 @@ from repro import System, SystemConfig
 from repro.common import params
 from repro.common.units import CACHELINE_SIZE, KB, PAGE_SIZE
 from repro.isa import ops
-from repro.workloads.common import (LatencyRecorder, fill_pattern,
+from repro.workloads.common import (LatencyRecorder, engine_needs_ctt,
+                                    fill_pattern,
                                     make_engine, rng)
 
 
@@ -36,7 +37,7 @@ class MongoInsertWorkload:
                  index_read_fraction: float = 0.3,
                  config: Optional[SystemConfig] = None, seed: int = 23):
         config = config or SystemConfig()
-        if engine_name in ("memcpy", "zio", "nocopy") \
+        if not engine_needs_ctt(engine_name) \
                 and config.mcsquare_enabled:
             config = config.with_overrides(mcsquare_enabled=False)
         self.config = config

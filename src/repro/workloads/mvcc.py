@@ -24,7 +24,8 @@ from repro import System, SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.units import CACHELINE_SIZE, KB
 from repro.isa import ops
-from repro.workloads.common import fill_pattern, make_engine, rng
+from repro.workloads.common import (engine_needs_ctt, fill_pattern,
+                                    make_engine, rng)
 
 
 class MvccWorkload:
@@ -40,7 +41,7 @@ class MvccWorkload:
         if update_kind not in ("rmw", "write", "write_nt"):
             raise ConfigError(f"bad update kind {update_kind!r}")
         config = config or SystemConfig()
-        if engine_name in ("memcpy", "zio", "nocopy") \
+        if not engine_needs_ctt(engine_name) \
                 and config.mcsquare_enabled:
             config = config.with_overrides(mcsquare_enabled=False)
         if num_threads > config.num_cpus:

@@ -21,7 +21,8 @@ from repro import System, SystemConfig
 from repro.common import params
 from repro.common.units import CACHELINE_SIZE, KB
 from repro.isa import ops
-from repro.workloads.common import (RegionTracker, fill_pattern, make_engine,
+from repro.workloads.common import (RegionTracker, engine_needs_ctt,
+                                    fill_pattern, make_engine,
                                     rng)
 
 #: The paper's Fig. 4 size distribution: (size, cumulative probability).
@@ -67,7 +68,7 @@ class ProtobufWorkload:
                  config: Optional[SystemConfig] = None,
                  min_lazy: int = params.INTERPOSER_MIN_LAZY_SIZE):
         config = config or SystemConfig()
-        if engine_name in ("memcpy", "zio", "nocopy") \
+        if not engine_needs_ctt(engine_name) \
                 and config.mcsquare_enabled:
             config = config.with_overrides(mcsquare_enabled=False)
         self.config = config

@@ -26,7 +26,8 @@ from repro.common import params
 from repro.common.units import CACHELINE_SIZE, KB
 from repro.isa import ops
 from repro.sw.allocator import FreeListAllocator
-from repro.workloads.common import fill_pattern, make_engine, rng
+from repro.workloads.common import (engine_needs_ctt, fill_pattern,
+                                    make_engine, rng)
 
 
 class RedisWorkload:
@@ -36,7 +37,7 @@ class RedisWorkload:
                  value_size: int = 4 * KB, get_fraction: float = 0.3,
                  config: Optional[SystemConfig] = None, seed: int = 31):
         config = config or SystemConfig()
-        if engine_name in ("memcpy", "zio", "nocopy") \
+        if not engine_needs_ctt(engine_name) \
                 and config.mcsquare_enabled:
             config = config.with_overrides(mcsquare_enabled=False)
         self.config = config

@@ -87,6 +87,10 @@ class ZioEngine(CopyEngine):
         yield from memcpy_ops(self.system, page, src, PAGE_SIZE)
         yield ops.compute(params.ZIO_SKIPLIST_OP_CYCLES)
 
+    def elided_pages(self) -> int:
+        """Pages currently awaiting copy-on-access."""
+        return len(self._elided)
+
     def is_elided(self, addr: int) -> bool:
         """True when the page containing ``addr`` awaits copy-on-access."""
         return align_down(addr, PAGE_SIZE) in self._elided

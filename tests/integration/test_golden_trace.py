@@ -41,6 +41,22 @@ def test_golden_trace_bytes_identical(tmp_path):
     assert fresh.read_bytes() == GOLDEN.read_bytes()
 
 
+def test_golden_trace_mclazy_backend_identical(tmp_path):
+    # The golden predates the copy-backend registry; `mclazy` (the
+    # canonical name `mcsquare` now aliases to) must replay it event
+    # for event — the backend wrapper is pure delegation around the
+    # LazyEngine op stream.  Only the export label (which echoes the
+    # requested engine spelling) may differ.
+    fresh = tmp_path / "mclazy.trace.json"
+    assert obs_main(["run", "--workload", "seq", "--buffer-kb", "16",
+                     "--engine", "mclazy", "--out", str(fresh)]) == 0
+    got = json.loads(fresh.read_text())
+    want = json.loads(GOLDEN.read_text())
+    assert got["traceEvents"][0]["args"]["name"] == "seq-mclazy"
+    got["traceEvents"][0] = want["traceEvents"][0]
+    assert got == want
+
+
 def test_golden_trace_validates():
     assert obs_main(["validate", str(GOLDEN)]) == 0
     payload = json.loads(GOLDEN.read_text())

@@ -1,0 +1,302 @@
+"""Unit tests for the copy-backend registry, config plumbing, and the
+per-backend behaviors the crossover figure depends on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import System, SystemConfig, small_system
+from repro.common.errors import ConfigError
+from repro.common.units import CACHELINE_SIZE, KB, PAGE_SIZE
+from repro.copyengine import (ALIASES, BACKENDS, backend_names,
+                              canonical_name, known_backend, make_backend,
+                              needs_ctt)
+from repro.isa import ops
+
+CL = CACHELINE_SIZE
+
+
+def _run(system, gen):
+    system.run_program(gen)
+    system.drain()
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert backend_names() == ["eager", "mclazy", "mirror",
+                                   "rowclone", "zio"]
+
+    def test_aliases_resolve_to_registered_backends(self):
+        for alias, target in ALIASES.items():
+            assert canonical_name(alias) == target
+            assert known_backend(alias)
+            assert target in BACKENDS
+
+    def test_canonical_names_pass_through(self):
+        for name in backend_names():
+            assert canonical_name(name) == name
+
+    def test_unknown_backend_rejected_with_known_list(self):
+        system = System(small_system())
+        with pytest.raises(ConfigError, match="rowclone"):
+            make_backend("bogus", system)
+
+    def test_needs_ctt_only_for_mclazy(self):
+        assert needs_ctt("mclazy")
+        assert needs_ctt("mcsquare")      # via alias
+        for name in ("eager", "zio", "rowclone", "mirror", "memcpy"):
+            assert not needs_ctt(name)
+
+    def test_mclazy_requires_mcsquare_machine(self):
+        system = System(small_system(mcsquare_enabled=False))
+        with pytest.raises(ConfigError, match="mcsquare_enabled"):
+            make_backend("mclazy", system)
+
+    def test_backend_instance_names_are_canonical(self):
+        system = System(small_system())
+        for name in backend_names():
+            assert make_backend(name, system).name == name
+
+
+class TestSystemIntegration:
+    def test_copy_backend_defaults_to_config(self):
+        system = System(small_system(copy_backend="rowclone"))
+        assert system.copy_backend().name == "rowclone"
+
+    def test_copy_backend_cached_per_canonical_name(self):
+        system = System(small_system())
+        assert system.copy_backend("mcsquare") is system.copy_backend("mclazy")
+        assert system.copy_backend("eager") is system.copy_backend("memcpy")
+
+    def test_overrides_build_fresh_instances(self):
+        system = System(small_system())
+        cached = system.copy_backend("mclazy")
+        fresh = system.copy_backend("mclazy", min_lazy=1024)
+        assert fresh is not cached
+        assert fresh.min_lazy == 1024
+
+    def test_config_kwargs_route_fields(self):
+        system = System(small_system(copy_min_lazy=2048))
+        assert system.copy_backend("mclazy").min_lazy == 2048
+
+    def test_stats_subtree_per_backend(self):
+        system = System(small_system(mcsquare_enabled=False))
+        backend = make_backend("eager", system)
+        src = system.alloc(4 * KB)
+        dst = system.alloc(4 * KB)
+        _run(system, backend.copy_ops(dst, src, 4 * KB))
+        assert system.stats.get("copyengine.eager.copies") == 1
+        assert system.stats.get("copyengine.eager.bytes_requested") == 4 * KB
+
+
+class TestConfigValidation:
+    def test_default_config_valid(self):
+        SystemConfig().validate()
+
+    def test_rejects_unknown_copy_backend(self):
+        with pytest.raises(ConfigError, match="unknown copy_backend"):
+            SystemConfig(copy_backend="turbo").validate()
+
+    def test_accepts_aliases_as_copy_backend(self):
+        SystemConfig(copy_backend="mcsquare").validate()
+        SystemConfig(copy_backend="memcpy",
+                     mcsquare_enabled=False).validate()
+
+    def test_rejects_negative_min_lazy(self):
+        with pytest.raises(ConfigError, match="copy_min_lazy"):
+            SystemConfig(copy_min_lazy=-1).validate()
+
+    def test_rejects_subpage_zio_elision(self):
+        with pytest.raises(ConfigError, match="zio_min_elision"):
+            SystemConfig(zio_min_elision=PAGE_SIZE // 2).validate()
+
+    def test_rejects_unknown_inmem_layout(self):
+        with pytest.raises(ConfigError, match="inmem_layout"):
+            SystemConfig(inmem_layout="diagonal").validate()
+
+    def test_rejects_nonpositive_subarray_rows(self):
+        with pytest.raises(ConfigError, match="inmem_subarray_rows"):
+            SystemConfig(inmem_subarray_rows=0).validate()
+
+    @settings(max_examples=60, deadline=None)
+    @given(backend=st.sampled_from(sorted(set(ALIASES) |
+                                          {"eager", "mclazy", "zio",
+                                           "rowclone", "mirror"})),
+           min_lazy=st.integers(0, 1 << 20),
+           zio_min=st.integers(PAGE_SIZE, 1 << 22),
+           layout=st.sampled_from(("hash", "ideal")),
+           rows=st.integers(1, 4096))
+    def test_with_overrides_round_trip(self, backend, min_lazy, zio_min,
+                                       layout, rows):
+        """Any valid field combination survives with_overrides intact."""
+        config = SystemConfig().with_overrides(
+            copy_backend=backend, copy_min_lazy=min_lazy,
+            zio_min_elision=zio_min, inmem_layout=layout,
+            inmem_subarray_rows=rows)
+        config.validate()
+        assert config.copy_backend == backend
+        assert config.copy_min_lazy == min_lazy
+        assert config.zio_min_elision == zio_min
+        assert config.inmem_layout == layout
+        assert config.inmem_subarray_rows == rows
+        # Round-trip back to defaults reproduces the original.
+        base = SystemConfig()
+        restored = config.with_overrides(
+            copy_backend=base.copy_backend,
+            copy_min_lazy=base.copy_min_lazy,
+            zio_min_elision=base.zio_min_elision,
+            inmem_layout=base.inmem_layout,
+            inmem_subarray_rows=base.inmem_subarray_rows)
+        assert restored == base
+
+
+class TestInDramBackends:
+    def _system(self, **kwargs):
+        return System(small_system(mcsquare_enabled=False, **kwargs))
+
+    def test_eligibility_rules(self):
+        system = self._system()
+        backend = make_backend("rowclone", system)
+        span = system.address_map.channels * CL
+        assert backend.eligible(0, span, 4 * KB)
+        # Sub-line copies are never worth a row operation.
+        assert not backend.eligible(0, span, CL - 1)
+        # Line-incongruent: src and dst at different line offsets.
+        assert not backend.eligible(0, span + 8, 4 * KB)
+        # Channel-incongruent: offset not a multiple of channels*CL.
+        assert not backend.eligible(0, span + CL, 4 * KB)
+
+    def test_ineligible_copy_falls_back_whole(self):
+        system = self._system()
+        backend = make_backend("rowclone", system)
+        src = system.alloc(4 * KB, align=4 * KB) + CL  # skew one line
+        dst = system.alloc(8 * KB, align=4 * KB)
+        system.backing.fill(src, 4 * KB, 0xAB)
+        _run(system, backend.copy_ops(dst, src, 4 * KB))
+        assert system.read_memory(dst, 4 * KB) == \
+            system.read_memory(src, 4 * KB)
+        assert system.stats.get("copyengine.rowclone.fallback_bytes") \
+            == 4 * KB
+        assert system.stats.get("copyengine.rowclone.cloned_lines") == 0
+
+    def test_eligible_copy_offloads_and_counts_lines(self):
+        system = self._system()
+        backend = make_backend("rowclone", system)
+        size = 16 * KB
+        src = system.alloc(size, align=16 * KB)
+        dst = system.alloc(size, align=16 * KB)
+        system.backing.fill(src, size, 0xCD)
+        _run(system, backend.copy_ops(dst, src, size))
+        assert system.read_memory(dst, size) == system.read_memory(src, size)
+        assert system.stats.get("copyengine.rowclone.cloned_lines") \
+            == size // CL
+        assert system.stats.get("copyengine.rowclone.fallback_bytes") == 0
+        # The device performed row copies (not bus accesses) for them.
+        copies = sum(
+            system.stats.get(f"mc{mc.channel_id}.dram.row_copies_fpm")
+            + system.stats.get(f"mc{mc.channel_id}.dram.row_copies_psm")
+            for mc in system.controllers)
+        assert copies > 0
+
+    def test_mirror_uses_mirror_row_copies(self):
+        system = self._system(inmem_layout="ideal")
+        backend = make_backend("mirror", system)
+        size = 32 * KB  # two full local rows on the 2-channel machine
+        src = system.alloc(size, align=16 * KB)
+        dst = system.alloc(size, align=16 * KB)
+        _run(system, backend.copy_ops(dst, src, size))
+        mirrors = sum(
+            system.stats.get(f"mc{mc.channel_id}.dram.row_copies_mirror")
+            for mc in system.controllers)
+        assert mirrors > 0
+
+    def test_ideal_layout_full_rows_use_fpm(self):
+        system = self._system(inmem_layout="ideal")
+        backend = make_backend("rowclone", system)
+        size = 32 * KB
+        src = system.alloc(size, align=16 * KB)
+        dst = system.alloc(size, align=16 * KB)
+        _run(system, backend.copy_ops(dst, src, size))
+        fpm = sum(system.stats.get(f"mc{mc.channel_id}.dram.row_copies_fpm")
+                  for mc in system.controllers)
+        psm = sum(system.stats.get(f"mc{mc.channel_id}.dram.row_copies_psm")
+                  for mc in system.controllers)
+        assert fpm > 0 and psm == 0
+
+
+class TestSoftwareBackends:
+    def test_mclazy_tracked_bytes_follow_ctt(self):
+        system = System(small_system())
+        backend = make_backend("mclazy", system)
+        src = system.alloc(8 * KB, align=PAGE_SIZE)
+        dst = system.alloc(8 * KB, align=PAGE_SIZE)
+
+        def program():
+            yield from backend.copy_ops(dst, src, 8 * KB)
+            yield ops.mfence()
+
+        _run(system, program())
+        assert backend.tracked_bytes() == 8 * KB
+        assert backend.tracked_bytes() == system.ctt.tracked_bytes()
+
+    def test_zio_tracked_bytes_and_resolve(self):
+        system = System(small_system(mcsquare_enabled=False))
+        backend = make_backend("zio", system)
+        src = system.alloc(8 * KB, align=PAGE_SIZE)
+        dst = system.alloc(8 * KB, align=PAGE_SIZE)
+        system.backing.fill(src, 8 * KB, 0x3C)
+        _run(system, backend.copy_ops(dst, src, 8 * KB))
+        assert backend.tracked_bytes() == 8 * KB
+        _run(system, backend.resolve_ops(dst, 8 * KB))
+        assert backend.tracked_bytes() == 0
+        assert system.read_memory(dst, 8 * KB) == \
+            system.read_memory(src, 8 * KB)
+
+    def test_eager_tracks_nothing(self):
+        system = System(small_system(mcsquare_enabled=False))
+        backend = make_backend("eager", system)
+        src = system.alloc(4 * KB)
+        dst = system.alloc(4 * KB)
+        _run(system, backend.copy_ops(dst, src, 4 * KB))
+        assert backend.tracked_bytes() == 0
+
+
+class TestSpans:
+    def test_copy_spans_emitted_with_outcomes(self):
+        from repro.obs.runtime import tracing
+        from repro.obs.tracer import DEFAULT_CATEGORIES, TraceConfig
+
+        config = TraceConfig(categories=DEFAULT_CATEGORIES | {"copyengine"})
+        with tracing(config):
+            system = System(small_system(mcsquare_enabled=False))
+            backend = make_backend("rowclone", system)
+            src = system.alloc(16 * KB, align=16 * KB)
+            dst = system.alloc(16 * KB, align=16 * KB)
+            _run(system, backend.copy_ops(dst, src, 16 * KB))
+            events = [e for e in system.tracer.events if e[1] == "copyengine"]
+        assert len(events) == 2
+        begin, end = events
+        assert begin[0] == "b" and begin[3] == "copy-rowclone"
+        assert end[0] == "e" and end[7]["outcome"] == "cloned"
+
+    def test_no_spans_without_category(self):
+        from repro.obs.runtime import tracing
+        from repro.obs.tracer import TraceConfig
+
+        with tracing(TraceConfig()):   # default categories only
+            system = System(small_system(mcsquare_enabled=False))
+            backend = make_backend("rowclone", system)
+            src = system.alloc(16 * KB, align=16 * KB)
+            dst = system.alloc(16 * KB, align=16 * KB)
+            _run(system, backend.copy_ops(dst, src, 16 * KB))
+            assert not [e for e in system.tracer.events
+                        if e[1] == "copyengine"]
+
+
+class TestHugepageBackendPassThrough:
+    def test_arbitrary_backend_names_accepted(self):
+        from repro.common.units import MB
+        from repro.workloads.hugepage import HugePageCowWorkload
+        w = HugePageCowWorkload("rowclone", region_size=2 * MB,
+                                num_updates=1)
+        assert w.engine_name == "rowclone"
+        assert w.system.ctt is None  # no CTT needed for in-DRAM copies

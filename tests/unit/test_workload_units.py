@@ -25,10 +25,12 @@ class TestCommonHelpers:
     def test_make_engine_names(self):
         from repro import System, small_system
         system = System(small_system())
-        assert make_engine("mcsquare", system).name == "mcsquare"
+        # Historical aliases resolve to the registry's canonical names.
+        assert make_engine("mcsquare", system).name == "mclazy"
         system2 = System(small_system(mcsquare_enabled=False))
-        assert make_engine("memcpy", system2).name == "memcpy"
+        assert make_engine("memcpy", system2).name == "eager"
         assert make_engine("zio", system2).name == "zio"
+        assert make_engine("nocopy", system2).name == "nocopy"
         with pytest.raises(ValueError):
             make_engine("bogus", system)
 
